@@ -1,0 +1,136 @@
+// Command fibril-bench regenerates the tables and figures of the Fibril
+// paper's evaluation (SPAA 2016, §5).
+//
+// Usage:
+//
+//	fibril-bench -experiment all            # quick pass over everything
+//	fibril-bench -experiment fig4 -full     # Figure 4 at the paper's P grid
+//	fibril-bench -experiment table2 -bench fib,quicksort
+//	fibril-bench -experiment fig3 -reps 10  # the paper's ten repetitions
+//
+// Experiments: fig3, fig4, table2, table3, table4, mmap-vs-madvise,
+// depth-restricted, stack-pool, counters, all. See EXPERIMENTS.md for the
+// mapping to the paper and the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fibril/internal/bench"
+	"fibril/internal/exper"
+	"fibril/internal/table"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | counters | all")
+		full = flag.Bool("full", false,
+			"use simulation-scale inputs and the paper's worker grid (slow)")
+		reps      = flag.Int("reps", 3, "timing repetitions for real-runtime measurements")
+		list      = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		helpFirst = flag.Bool("helpfirst", false,
+			"simulate with the help-first child-stealing engine instead of the paper's work-first discipline")
+	)
+	flag.Parse()
+
+	opts := exper.Options{Full: *full, Reps: *reps, HelpFirst: *helpFirst}
+	if *list != "" {
+		opts.Benches = strings.Split(*list, ",")
+		for _, n := range opts.Benches {
+			if bench.Get(n) == nil {
+				fmt.Fprintf(os.Stderr, "fibril-bench: unknown benchmark %q (have: %s)\n",
+					n, strings.Join(bench.Names(), ", "))
+				os.Exit(2)
+			}
+		}
+	}
+
+	emit := func(t *table.Table) {
+		var err error
+		if *csv {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	runFig4 := func() {
+		specs := bench.All()
+		for _, s := range specs {
+			if s.Name == "adversarial" {
+				continue
+			}
+			if len(opts.Benches) > 0 && !contains(opts.Benches, s.Name) {
+				continue
+			}
+			emit(exper.Fig4(opts, s))
+		}
+	}
+
+	switch *experiment {
+	case "fig3":
+		emit(exper.Fig3(opts))
+	case "fig4":
+		runFig4()
+	case "table2":
+		emit(exper.Table2(opts))
+	case "table3":
+		emit(exper.Table3(opts))
+	case "table4":
+		emit(exper.Table4(opts))
+	case "mmap-vs-madvise":
+		emit(exper.AblationMMap(opts))
+	case "depth-restricted":
+		emit(exper.AblationDepthRestricted(opts))
+	case "stack-pool":
+		emit(exper.AblationStackPool(opts))
+	case "discipline":
+		emit(exper.AblationDiscipline(opts))
+	case "predict":
+		for _, s := range bench.All() {
+			if s.Name == "adversarial" {
+				continue
+			}
+			if len(opts.Benches) > 0 && !contains(opts.Benches, s.Name) {
+				continue
+			}
+			emit(exper.Predict(opts, s))
+		}
+	case "counters":
+		emit(exper.CountersSmoke(opts))
+	case "all":
+		emit(exper.Fig3(opts))
+		runFig4()
+		emit(exper.Table2(opts))
+		emit(exper.Table3(opts))
+		emit(exper.Table4(opts))
+		emit(exper.AblationMMap(opts))
+		emit(exper.AblationDepthRestricted(opts))
+		emit(exper.AblationStackPool(opts))
+		emit(exper.AblationDiscipline(opts))
+		emit(exper.CountersSmoke(opts))
+	default:
+		fmt.Fprintf(os.Stderr, "fibril-bench: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

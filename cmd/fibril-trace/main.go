@@ -1,0 +1,143 @@
+// Command fibril-trace prints the invocation-tree metrics of a benchmark —
+// work T1, span T∞, average parallelism, serial stack depth S1, and the
+// Fibril depth D (the quantities of the paper's §4.4 bounds and Table 3) —
+// and can execute a benchmark on the REAL runtime with the scheduler
+// tracer attached, printing a per-worker event timeline.
+//
+// Usage:
+//
+//	fibril-trace                            # all benchmarks at Sim inputs
+//	fibril-trace -input paper               # Table 1 inputs (keyed trees only)
+//	fibril-trace -bench fib -n 42
+//	fibril-trace -bench fib -timeline -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fibril/internal/bench"
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+	"fibril/internal/table"
+	"fibril/internal/trace"
+	"fibril/internal/vm"
+)
+
+// keyedAtPaperScale lists the benchmarks whose trees are structurally
+// memoized, so they analyze instantly even at Table 1 inputs. The others
+// (adaptive or data-dependent trees) must be walked node by node.
+var keyedAtPaperScale = map[string]bool{
+	"fib": true, "matmul": true, "rectmul": true, "strassen": true,
+	"lu": true, "cholesky": true, "fft": true, "heat": true,
+}
+
+func main() {
+	var (
+		name     = flag.String("bench", "", "single benchmark (default: all)")
+		input    = flag.String("input", "sim", "default | sim | paper")
+		n        = flag.Int("n", 0, "override N (with -bench)")
+		m        = flag.Int("m", 0, "override M (with -bench)")
+		timeline = flag.Bool("timeline", false,
+			"run the benchmark on the real runtime with tracing and print a worker timeline (with -bench)")
+		workers = flag.Int("workers", 8, "worker count for -timeline")
+		bucket  = flag.Duration("bucket", 0, "timeline column width (0 = auto)")
+	)
+	flag.Parse()
+
+	if *timeline {
+		if *name == "" {
+			fmt.Fprintln(os.Stderr, "fibril-trace: -timeline requires -bench")
+			os.Exit(2)
+		}
+		s := bench.Get(*name)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "fibril-trace: unknown benchmark %q\n", *name)
+			os.Exit(2)
+		}
+		a := s.Default
+		if *n != 0 {
+			a.N = *n
+		}
+		if *m != 0 {
+			a.M = *m
+		}
+		rec := trace.NewRecorder(0)
+		rt := core.NewRuntime(core.Config{
+			Workers: *workers, Strategy: core.StrategyFibril,
+			StackPages: 4096, Tracer: rec,
+		})
+		start := time.Now()
+		rt.Run(func(w *core.W) { s.Parallel(w, a) })
+		elapsed := time.Since(start)
+		b := *bucket
+		if b == 0 {
+			b = elapsed / 100
+			if b <= 0 {
+				b = time.Microsecond
+			}
+		}
+		fmt.Printf("%s %v on %d workers: %v, %v\n", s.Name, a, *workers, elapsed, rt.Stats())
+		if err := rec.Timeline(os.Stdout, b); err != nil {
+			fmt.Fprintln(os.Stderr, "fibril-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	pick := func(s *bench.Spec) (bench.Arg, bool) {
+		switch *input {
+		case "default":
+			return s.Default, true
+		case "sim":
+			return s.Sim, true
+		case "paper":
+			return s.Paper, keyedAtPaperScale[s.Name]
+		}
+		fmt.Fprintf(os.Stderr, "fibril-trace: unknown input class %q\n", *input)
+		os.Exit(2)
+		return bench.Arg{}, false
+	}
+
+	t := &table.Table{
+		Title: fmt.Sprintf("Invocation-tree metrics (%s inputs)", *input),
+		Header: []string{"benchmark", "input", "T1", "T∞", "T1/T∞",
+			"tasks", "forks", "S1(B)", "S1(pages)", "D"},
+	}
+	specs := bench.All()
+	if *name != "" {
+		s := bench.Get(*name)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "fibril-trace: unknown benchmark %q\n", *name)
+			os.Exit(2)
+		}
+		specs = []*bench.Spec{s}
+	}
+	for _, s := range specs {
+		a, feasible := pick(s)
+		if *name != "" {
+			if *n != 0 {
+				a.N = *n
+			}
+			if *m != 0 {
+				a.M = *m
+			}
+			feasible = true // explicit request: let the user wait if huge
+		}
+		if !feasible {
+			t.Add(s.Name, a.String(), "(unkeyed tree; too large to walk)", "", "", "", "", "", "", "")
+			continue
+		}
+		met := invoke.Analyze(s.Tree(a))
+		t.Add(s.Name, a.String(), met.Work, met.Span,
+			fmt.Sprintf("%.1f", met.Parallelism()),
+			met.Tasks, met.Forks, met.MaxStackBytes,
+			vm.PageAlign(int(met.MaxStackBytes)), met.FibrilDepth)
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fibril-trace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// Parallel quicksort on the public API — divide and conquer with a serial
+// cutoff, the paper's deepest benchmark (Table 3 lists D = 69 for it).
+//
+//	go run ./examples/quicksort -n 2000000 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"fibril"
+)
+
+const cutoff = 2048
+
+func quicksort(w *fibril.W, data []int64) {
+	if len(data) <= cutoff {
+		sort.Slice(data, func(i, j int) bool { return data[i] < data[j] })
+		return
+	}
+	mid := partition(data)
+	var fr fibril.Frame
+	w.Init(&fr)
+	left, right := data[:mid], data[mid:]
+	w.Fork(&fr, func(w *fibril.W) { quicksort(w, left) })
+	w.Call(func(w *fibril.W) { quicksort(w, right) })
+	w.Join(&fr)
+}
+
+func partition(data []int64) int {
+	n := len(data)
+	a, b, c := data[0], data[n/2], data[n-1]
+	pivot := a + b + c - max3(a, b, c) - min3(a, b, c) // median of three
+	i, j := 0, n-1
+	for {
+		for data[i] < pivot {
+			i++
+		}
+		for data[j] > pivot {
+			j--
+		}
+		if i >= j {
+			return j + 1
+		}
+		data[i], data[j] = data[j], data[i]
+		i++
+		j--
+	}
+}
+
+func max3(a, b, c int64) int64 {
+	if a < b {
+		a = b
+	}
+	if a < c {
+		a = c
+	}
+	return a
+}
+
+func min3(a, b, c int64) int64 {
+	if a > b {
+		a = b
+	}
+	if a > c {
+		a = c
+	}
+	return a
+}
+
+func main() {
+	n := flag.Int("n", 1_000_000, "elements to sort")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	data := make([]int64, *n)
+	state := uint64(0x5017)
+	for i := range data {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		data[i] = int64(z ^ (z >> 27))
+	}
+
+	rt := fibril.New(fibril.Config{Workers: *workers})
+	stats := rt.Run(func(w *fibril.W) { quicksort(w, data) })
+
+	for i := 1; i < len(data); i++ {
+		if data[i-1] > data[i] {
+			fmt.Printf("UNSORTED at index %d\n", i)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("sorted %d elements\n", *n)
+	fmt.Printf("scheduler: %v\n", stats)
+}

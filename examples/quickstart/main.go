@@ -1,0 +1,54 @@
+// Quickstart: the paper's Listing 1 (parfib) on the public API.
+//
+//	go run ./examples/quickstart -n 30 -workers 4
+//
+// It prints the result, the serial cross-check, and the scheduler counters
+// so you can see steals/suspensions/unmaps happen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fibril"
+)
+
+// parfib is Listing 1's parallel Fibonacci: fork n-1, call n-2, join.
+func parfib(w *fibril.W, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var fr fibril.Frame
+	w.Init(&fr) // fibril_init(&fr)
+	var x, y int64
+	w.Fork(&fr, func(w *fibril.W) { parfib(w, n-1, &x) }) // fibril_fork
+	w.Call(func(w *fibril.W) { parfib(w, n-2, &y) })      // plain call
+	w.Join(&fr)                                           // fibril_join(&fr)
+	*out = x + y
+}
+
+func fib(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	return fib(n-1) + fib(n-2)
+}
+
+func main() {
+	n := flag.Int("n", 28, "Fibonacci index")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	rt := fibril.New(fibril.Config{Workers: *workers})
+	var result int64
+	stats := rt.Run(func(w *fibril.W) { parfib(w, *n, &result) })
+
+	fmt.Printf("parfib(%d) = %d\n", *n, result)
+	if want := fib(*n); result != want {
+		fmt.Printf("MISMATCH: serial fib(%d) = %d\n", *n, want)
+		os.Exit(1)
+	}
+	fmt.Printf("scheduler: %v\n", stats)
+}

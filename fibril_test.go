@@ -1,0 +1,97 @@
+package fibril_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"fibril"
+)
+
+func parfib(w *fibril.W, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var fr fibril.Frame
+	w.Init(&fr)
+	var x, y int64
+	w.Fork(&fr, func(w *fibril.W) { parfib(w, n-1, &x) })
+	w.Call(func(w *fibril.W) { parfib(w, n-2, &y) })
+	w.Join(&fr)
+	*out = x + y
+}
+
+func TestRunQuickstart(t *testing.T) {
+	var result int64
+	stats := fibril.Run(func(w *fibril.W) { parfib(w, 20, &result) })
+	if result != 6765 {
+		t.Errorf("parfib(20) = %d, want 6765", result)
+	}
+	if stats.Forks == 0 {
+		t.Error("no forks recorded")
+	}
+}
+
+func TestCElisionRule(t *testing.T) {
+	// The serial elision — Fork replaced by Call, Init/Join dropped —
+	// must compute the same value (§4.1).
+	var elided func(w *fibril.W, n int, out *int64)
+	elided = func(w *fibril.W, n int, out *int64) {
+		if n < 2 {
+			*out = int64(n)
+			return
+		}
+		var x, y int64
+		w.Call(func(w *fibril.W) { elided(w, n-1, &x) })
+		w.Call(func(w *fibril.W) { elided(w, n-2, &y) })
+		*out = x + y
+	}
+	var parallel, serial int64
+	fibril.Run(func(w *fibril.W) { parfib(w, 18, &parallel) })
+	fibril.New(fibril.Config{Workers: 1}).Run(func(w *fibril.W) { elided(w, 18, &serial) })
+	if parallel != serial {
+		t.Errorf("parallel %d != serial elision %d", parallel, serial)
+	}
+}
+
+func TestAllExportedStrategiesRun(t *testing.T) {
+	for _, s := range fibril.Strategies() {
+		rt := fibril.New(fibril.Config{Workers: 4, Strategy: s})
+		var n atomic.Int64
+		rt.Run(func(w *fibril.W) {
+			var fr fibril.Frame
+			w.Init(&fr)
+			for i := 0; i < 16; i++ {
+				w.Fork(&fr, func(w *fibril.W) { n.Add(1) })
+			}
+			w.Join(&fr)
+		})
+		if n.Load() != 16 {
+			t.Errorf("%v: completed %d of 16 children", s, n.Load())
+		}
+	}
+}
+
+func ExampleRun() {
+	var result int64
+	fibril.Run(func(w *fibril.W) { parfib(w, 10, &result) })
+	fmt.Println(result)
+	// Output: 55
+}
+
+func ExampleNew() {
+	rt := fibril.New(fibril.Config{Workers: 4, Strategy: fibril.Fibril})
+	var sum atomic.Int64
+	rt.Run(func(w *fibril.W) {
+		var fr fibril.Frame
+		w.Init(&fr)
+		for i := 1; i <= 4; i++ {
+			i := i
+			w.Fork(&fr, func(w *fibril.W) { sum.Add(int64(i)) })
+		}
+		w.Join(&fr)
+	})
+	fmt.Println(sum.Load())
+	// Output: 10
+}

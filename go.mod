@@ -1,0 +1,3 @@
+module fibril
+
+go 1.22

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+)
+
+// Adversarial constructs the workload class behind Sukha's lower bound for
+// depth-restricted stealing (§3): workers get *blocked deep* while surplus
+// work sits *shallow* in deques, where a depth-restricted (TBB) or
+// descendant-restricted (leapfrog) join may not touch it.
+//
+// Structure: the root forks a few "trap" chains, then a long stream of
+// shallow heavy tasks. Each trap dives D deep via plain calls; its bottom
+// repeatedly forks a long-running "bait" task, works briefly (a window in
+// which an idle worker steals the bait), and joins — blocking for the
+// bait's full duration. A blocked Fibril worker suspends and its slot
+// serves the shallow heavies; a blocked TBB/leapfrog worker may only steal
+// deeper/descendant tasks — there are none in any deque — so it idles.
+//
+// N scales depth and durations; M is the number of shallow heavy tasks.
+const (
+	advTraps      = 3 // trap chains (should be < P-1 so baits get stolen)
+	advBaitCycles = 4 // block/unblock rounds per trap
+)
+
+var Adversarial = register(&Spec{
+	Name:        "adversarial",
+	Description: "Depth-restricted stealing lower-bound workload",
+	ArgDoc:      "N = depth/duration scale, M = shallow heavy tasks",
+	Default:     Arg{N: 64, M: 400},
+	Paper:       Arg{N: 256, M: 1600},
+	Sim:         Arg{N: 128, M: 800},
+	Serial: func(a Arg) uint64 {
+		var sum uint64
+		for t := 0; t < advTraps; t++ {
+			sum += trapSerial(uint64(t), a.N)
+		}
+		for i := 0; i < a.M; i++ {
+			sum += heavyWork(uint64(i), a.N/8+1)
+		}
+		return sum
+	},
+	Parallel: func(w *core.W, a Arg) uint64 {
+		var fr core.Frame
+		w.Init(&fr)
+		traps := make([]uint64, advTraps)
+		for t := 0; t < advTraps; t++ {
+			t := t
+			w.ForkSized(&fr, frameSmall, func(w *core.W) {
+				traps[t] = trapParallel(w, uint64(t), a.N)
+			})
+		}
+		sums := make([]uint64, a.M)
+		for i := 0; i < a.M; i++ {
+			i := i
+			w.ForkSized(&fr, frameSmall, func(w *core.W) {
+				sums[i] = heavyWork(uint64(i), a.N/8+1)
+			})
+		}
+		w.Join(&fr)
+		var sum uint64
+		for _, v := range traps {
+			sum += v
+		}
+		for _, v := range sums {
+			sum += v
+		}
+		return sum
+	},
+	Tree: func(a Arg) invoke.Task { return adversarialTree(a.N, a.M) },
+})
+
+// heavyWork is a compute kernel of ~n·64 mixing rounds.
+func heavyWork(seed uint64, n int) uint64 {
+	h := seed | 1
+	for i := 0; i < n*64; i++ {
+		h = mix(h, uint64(i))
+	}
+	return h
+}
+
+// trapSerial is the serial elision of a trap: dive, then run every bait
+// and window inline.
+func trapSerial(seed uint64, n int) uint64 {
+	sum := seed
+	for k := 0; k < advBaitCycles; k++ {
+		sum += heavyWork(seed+uint64(k), n*4) // bait
+		sum += heavyWork(seed^uint64(k), 1)   // window work
+	}
+	return sum
+}
+
+// trapParallel dives depth N/2 via calls, then cycles fork-bait / window /
+// join at the bottom.
+func trapParallel(w *core.W, seed uint64, n int) uint64 {
+	depth := n / 2
+	var out uint64
+	var dive func(w *core.W, d int)
+	dive = func(w *core.W, d int) {
+		if d > 0 {
+			w.CallSized(frameSmall, func(w *core.W) { dive(w, d-1) })
+			return
+		}
+		sum := seed
+		baits := make([]uint64, advBaitCycles)
+		for k := 0; k < advBaitCycles; k++ {
+			k := k
+			var fr core.Frame
+			w.Init(&fr)
+			w.ForkSized(&fr, frameSmall, func(w *core.W) {
+				baits[k] = heavyWork(seed+uint64(k), n*4)
+			})
+			sum += heavyWork(seed^uint64(k), 1)
+			w.Join(&fr)
+			sum += baits[k]
+		}
+		out = sum
+	}
+	dive(w, depth)
+	return out
+}
+
+// adversarialTree mirrors the parallel structure with calibrated weights:
+// baits run ~N·200 units, heavies N·8, the theft window N·10.
+func adversarialTree(n, heavies int) invoke.Task {
+	segs := make([]invoke.Seg, 0, advTraps+heavies+2)
+	for t := 0; t < advTraps; t++ {
+		segs = append(segs, invoke.Seg{Work: 2, Fork: func() invoke.Task {
+			return trapTree(n/2, n)
+		}})
+	}
+	// A settling window so traps establish before the heavies appear.
+	segs = append(segs, invoke.Seg{Work: int64(n) * 20})
+	for i := 0; i < heavies; i++ {
+		segs = append(segs, invoke.Seg{Work: 2, Fork: func() invoke.Task {
+			return invoke.Task{Name: "heavy", Frame: frameSmall,
+				Segs: []invoke.Seg{{Work: int64(n) * 8}}}
+		}})
+	}
+	segs = append(segs, invoke.Seg{Join: true})
+	return invoke.Task{Name: "adversarial", Frame: frameSmall, Segs: segs}
+}
+
+// trapTree dives via calls, then runs the bait cycles.
+func trapTree(depth, n int) invoke.Task {
+	if depth > 0 {
+		d := depth
+		return invoke.Task{Name: "dive", Frame: frameSmall,
+			Key: uint64(n)<<20 | uint64(d)<<2 | 0x2,
+			Segs: []invoke.Seg{
+				{Work: 1, Call: func() invoke.Task { return trapTree(d-1, n) }},
+			}}
+	}
+	segs := make([]invoke.Seg, 0, 2*advBaitCycles)
+	for k := 0; k < advBaitCycles; k++ {
+		segs = append(segs,
+			invoke.Seg{Fork: func() invoke.Task {
+				return invoke.Task{Name: "bait", Frame: frameSmall,
+					Segs: []invoke.Seg{{Work: int64(n) * 200}}}
+			}},
+			// The theft window: the trap works while the bait sits in its
+			// deque, then joins — blocking for the bait's remainder.
+			invoke.Seg{Work: int64(n) * 10, Join: true},
+		)
+	}
+	return invoke.Task{Name: "trap-bottom", Frame: frameSmall, Segs: segs}
+}

@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"math"
+
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+)
+
+// Cholesky factors a seeded SPD N×N matrix in place into L·Lᵀ by quadrant
+// recursion: factor A00; solve the panel A10 := A10·L00⁻ᵀ; update the
+// trailing block A11 −= A10·A10ᵀ (its column blocks are independent and
+// fork); recurse on A11.
+//
+// Substitution note: the paper's cholesky is the Cilk sparse quadtree
+// benchmark (input 4000 with 40000 nonzeros). A faithful sparse quadtree
+// needs the original matrix file; we substitute the dense recursive
+// factorization of the same divide-and-conquer shape on a synthetic SPD
+// matrix, which exercises the identical fork/join pattern (see DESIGN.md).
+// N is the matrix dimension.
+var Cholesky = register(&Spec{
+	Name:        "cholesky",
+	Description: "Cholesky decomposition",
+	ArgDoc:      "N = square SPD matrix dimension",
+	Default:     Arg{N: 192},
+	Paper:       Arg{N: 4000},
+	Sim:         Arg{N: 768},
+	Serial: func(a Arg) uint64 {
+		A := spdMat(0xC4, a.N)
+		cholSerial(A)
+		return cholChecksum(A)
+	},
+	Parallel: func(w *core.W, a Arg) uint64 {
+		A := spdMat(0xC4, a.N)
+		cholParallel(w, A)
+		return cholChecksum(A)
+	},
+	Tree: func(a Arg) invoke.Task { return cholTree(a.N) },
+})
+
+// cholChecksum hashes the lower triangle (the upper is untouched input).
+func cholChecksum(a mat) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j <= i; j++ {
+			h = mix(h, f64bits(a.at(i, j)))
+		}
+	}
+	return h
+}
+
+// cholKernel is the serial in-place Cholesky–Crout base case.
+func cholKernel(a mat) {
+	n := a.rows
+	for j := 0; j < n; j++ {
+		d := a.at(j, j)
+		for k := 0; k < j; k++ {
+			d -= a.at(j, k) * a.at(j, k)
+		}
+		d = math.Sqrt(d)
+		a.set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			v := a.at(i, j)
+			for k := 0; k < j; k++ {
+				v -= a.at(i, k) * a.at(j, k)
+			}
+			a.set(i, j, v/d)
+		}
+	}
+}
+
+// rightLowerTSolveKernel solves X·Lᵀ = B in place on B (L lower
+// triangular): column j of X depends on columns < j.
+func rightLowerTSolveKernel(l, b mat) {
+	for j := 0; j < l.rows; j++ {
+		ljj := l.at(j, j)
+		for i := 0; i < b.rows; i++ {
+			v := b.at(i, j)
+			for k := 0; k < j; k++ {
+				v -= b.at(i, k) * l.at(j, k)
+			}
+			b.set(i, j, v/ljj)
+		}
+	}
+}
+
+// rightLowerTSolveSerial recursively solves X·Lᵀ = B in place.
+func rightLowerTSolveSerial(l, b mat) {
+	if l.rows <= luBase {
+		rightLowerTSolveKernel(l, b)
+		return
+	}
+	h := l.rows / 2
+	l00 := l.sub(0, 0, h, h)
+	l10 := l.sub(h, 0, l.rows-h, h)
+	l11 := l.sub(h, h, l.rows-h, l.rows-h)
+	bl := b.sub(0, 0, b.rows, h)
+	br := b.sub(0, h, b.rows, b.cols-h)
+	rightLowerTSolveSerial(l00, bl)
+	// br −= bl·L10ᵀ
+	mulNegTransposeSerial(br, bl, l10)
+	rightLowerTSolveSerial(l11, br)
+}
+
+// rightLowerTSolveParallel forks row blocks of B (rows are independent).
+func rightLowerTSolveParallel(w *core.W, l, b mat) {
+	if b.rows > luBase {
+		h := b.rows / 2
+		b0, b1 := b.sub(0, 0, h, b.cols), b.sub(h, 0, b.rows-h, b.cols)
+		var fr core.Frame
+		w.Init(&fr)
+		w.ForkSized(&fr, frameLarge, func(w *core.W) { rightLowerTSolveParallel(w, l, b0) })
+		w.CallSized(frameLarge, func(w *core.W) { rightLowerTSolveParallel(w, l, b1) })
+		w.Join(&fr)
+		return
+	}
+	rightLowerTSolveSerial(l, b)
+}
+
+// mulNegTransposeSerial computes C −= A·Bᵀ serially.
+func mulNegTransposeSerial(c, a, b mat) {
+	for i := 0; i < c.rows; i++ {
+		for j := 0; j < c.cols; j++ {
+			v := c.at(i, j)
+			for k := 0; k < a.cols; k++ {
+				v -= a.at(i, k) * b.at(j, k)
+			}
+			c.set(i, j, v)
+		}
+	}
+}
+
+// syrkParallel computes the trailing update C −= A·Aᵀ restricted to C's
+// lower triangle (C is symmetric; only the lower half is factored),
+// forking disjoint row blocks. rowOff is the block's row offset within the
+// full update, 0 at the top call. Per-element arithmetic matches the
+// serial syrkRows, so results are bit-identical.
+func syrkParallel(w *core.W, c, a mat, rowOff int) {
+	if c.rows <= luBase {
+		syrkRows(c, a, rowOff)
+		return
+	}
+	h := c.rows / 2
+	c0, c1 := c.sub(0, 0, h, c.cols), c.sub(h, 0, c.rows-h, c.cols)
+	var fr core.Frame
+	w.Init(&fr)
+	w.ForkSized(&fr, frameLarge, func(w *core.W) { syrkParallel(w, c0, a, rowOff) })
+	w.CallSized(frameLarge, func(w *core.W) { syrkParallel(w, c1, a, rowOff+h) })
+	w.Join(&fr)
+}
+
+// syrkRows is the row-block kernel: C's rows are rows rowOff.. of the full
+// block, so row i of this view pairs with A rows rowOff+i and j.
+func syrkRows(c, a mat, rowOff int) {
+	for i := 0; i < c.rows; i++ {
+		gi := rowOff + i
+		for j := 0; j <= gi; j++ {
+			v := c.at(i, j)
+			for k := 0; k < a.cols; k++ {
+				v -= a.at(gi, k) * a.at(j, k)
+			}
+			c.set(i, j, v)
+		}
+	}
+}
+
+func cholSerial(a mat) {
+	if a.rows <= luBase {
+		cholKernel(a)
+		return
+	}
+	h := a.rows / 2
+	a00 := a.sub(0, 0, h, h)
+	a10 := a.sub(h, 0, a.rows-h, h)
+	a11 := a.sub(h, h, a.rows-h, a.cols-h)
+	cholSerial(a00)
+	rightLowerTSolveSerial(a00, a10) // A10 := A10·L00⁻ᵀ
+	syrkRowsSerial(a11, a10)         // A11 −= A10·A10ᵀ (lower triangle)
+	cholSerial(a11)
+}
+
+// syrkRowsSerial matches syrkParallel's per-element arithmetic.
+func syrkRowsSerial(c, a mat) { syrkRows(c, a, 0) }
+
+func cholParallel(w *core.W, a mat) {
+	if a.rows <= luBase {
+		cholKernel(a)
+		return
+	}
+	h := a.rows / 2
+	a00 := a.sub(0, 0, h, h)
+	a10 := a.sub(h, 0, a.rows-h, h)
+	a11 := a.sub(h, h, a.rows-h, a.cols-h)
+	w.CallSized(frameLarge, func(w *core.W) { cholParallel(w, a00) })
+	w.CallSized(frameLarge, func(w *core.W) { rightLowerTSolveParallel(w, a00, a10) })
+	w.CallSized(frameLarge, func(w *core.W) { syrkParallel(w, a11, a10, 0) })
+	w.CallSized(frameLarge, func(w *core.W) { cholParallel(w, a11) })
+}
+
+// cholTree mirrors cholParallel, keyed by dimension.
+func cholTree(n int) invoke.Task {
+	key := uint64(n)<<8 | 0xC5
+	if n <= treeBase {
+		work := int64(n) * int64(n) * int64(n) / 24
+		if work < 1 {
+			work = 1
+		}
+		return invoke.Task{Name: "chol-kernel", Frame: frameLarge, Key: key,
+			Segs: []invoke.Seg{{Work: work}}}
+	}
+	h := n / 2
+	return invoke.Task{Name: "cholesky", Frame: frameLarge, Key: key,
+		Segs: []invoke.Seg{
+			{Work: 1, Call: func() invoke.Task { return cholTree(h) }},
+			{Call: func() invoke.Task { return solveTree(h, n-h, false) }},
+			{Call: func() invoke.Task { return syrkTree(n-h, h) }},
+			{Call: func() invoke.Task { return cholTree(n - h) }},
+		}}
+}
+
+// syrkTree models the trailing update's parallel row-block recursion.
+func syrkTree(rows, k int) invoke.Task {
+	key := uint64(rows)<<24 | uint64(k)<<2 | 0x3
+	if rows <= treeBase {
+		work := int64(rows) * int64(rows) * int64(k) / 24
+		if work < 1 {
+			work = 1
+		}
+		return invoke.Task{Name: "syrk-kernel", Frame: frameLarge, Key: key,
+			Segs: []invoke.Seg{{Work: work}}}
+	}
+	h := rows / 2
+	return invoke.Task{Name: "syrk", Frame: frameLarge, Key: key,
+		Segs: []invoke.Seg{
+			{Work: 1, Fork: func() invoke.Task { return syrkTree(h, k) }},
+			{Call: func() invoke.Task { return syrkTree(rows-h, k) }, Join: true},
+		}}
+}

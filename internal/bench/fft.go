@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"math"
+	"math/cmplx"
+
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+)
+
+// fftSerialCutoff is the transform size below which the recursion stays
+// serial in the parallel version.
+const fftSerialCutoff = 2048
+
+// FFT computes the radix-2 Cooley–Tukey transform of 2^N seeded complex
+// samples (paper: 2^26): the even/odd half-transforms fork, and the
+// butterfly combine splits its index range in parallel. Per-element
+// arithmetic is identical in serial and parallel runs, so the checksums
+// match exactly.
+// N is the log2 of the transform size.
+var FFT = register(&Spec{
+	Name:        "fft",
+	Description: "Fast Fourier transformation",
+	ArgDoc:      "N = log2(transform size)",
+	Default:     Arg{N: 15},
+	Paper:       Arg{N: 26},
+	Sim:         Arg{N: 18},
+	Serial: func(a Arg) uint64 {
+		data := fftInput(1 << a.N)
+		out := make([]complex128, len(data))
+		fftSerial(out, data, 1)
+		return fftChecksum(out)
+	},
+	Parallel: func(w *core.W, a Arg) uint64 {
+		data := fftInput(1 << a.N)
+		out := make([]complex128, len(data))
+		fftParallel(w, out, data, 1)
+		return fftChecksum(out)
+	},
+	Tree: func(a Arg) invoke.Task { return fftTree(1 << a.N) },
+})
+
+func fftInput(n int) []complex128 {
+	rng := splitmix64{state: 0xFF7}
+	data := make([]complex128, n)
+	for i := range data {
+		re := float64(int64(rng.next()%2000))/1000.0 - 1.0
+		im := float64(int64(rng.next()%2000))/1000.0 - 1.0
+		data[i] = complex(re, im)
+	}
+	return data
+}
+
+func fftChecksum(x []complex128) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(x); i += 257 {
+		h = mix(h, f64bits(real(x[i])))
+		h = mix(h, f64bits(imag(x[i])))
+	}
+	return h
+}
+
+// fftSerial writes the DFT of in (viewed with the given stride) into out.
+func fftSerial(out, in []complex128, stride int) {
+	n := len(out)
+	if n == 1 {
+		out[0] = in[0]
+		return
+	}
+	half := n / 2
+	fftSerial(out[:half], in, stride*2)
+	fftSerial(out[half:], in[stride:], stride*2)
+	combine(out, 0, half)
+}
+
+// combine applies the butterfly for indices [lo, hi) of the half-range.
+func combine(out []complex128, lo, hi int) {
+	n := len(out)
+	half := n / 2
+	for k := lo; k < hi; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		e, o := out[k], out[k+half]
+		t := w * o
+		out[k] = e + t
+		out[k+half] = e - t
+	}
+}
+
+func fftParallel(w *core.W, out, in []complex128, stride int) {
+	n := len(out)
+	if n <= fftSerialCutoff {
+		fftSerial(out, in, stride)
+		return
+	}
+	half := n / 2
+	var fr core.Frame
+	w.Init(&fr)
+	top, bot := out[:half], out[half:]
+	odd := in[stride:]
+	w.ForkSized(&fr, frameLarge, func(w *core.W) { fftParallel(w, top, in, stride*2) })
+	w.CallSized(frameLarge, func(w *core.W) { fftParallel(w, bot, odd, stride*2) })
+	w.Join(&fr)
+	combineParallel(w, out, 0, half)
+}
+
+// combineParallel splits the butterfly range; each index is written by
+// exactly one child, with the same arithmetic as the serial combine.
+func combineParallel(w *core.W, out []complex128, lo, hi int) {
+	if hi-lo <= fftSerialCutoff {
+		combine(out, lo, hi)
+		return
+	}
+	mid := (lo + hi) / 2
+	var fr core.Frame
+	w.Init(&fr)
+	w.ForkSized(&fr, frameMedium, func(w *core.W) { combineParallel(w, out, lo, mid) })
+	w.CallSized(frameMedium, func(w *core.W) { combineParallel(w, out, mid, hi) })
+	w.Join(&fr)
+}
+
+// fftTree mirrors fftParallel, keyed by size (the recursion depends only
+// on n), so the paper's 2^26 tree analyzes via memoization.
+func fftTree(n int) invoke.Task {
+	key := uint64(n)<<8 | 0xF7
+	if n <= fftSerialCutoff {
+		work := int64(n) * int64(log2(n)) / 4
+		if work < 1 {
+			work = 1
+		}
+		return invoke.Task{Name: "fft-leaf", Frame: frameLarge, Key: key,
+			Segs: []invoke.Seg{{Work: work}}}
+	}
+	half := n / 2
+	return invoke.Task{Name: "fft", Frame: frameLarge, Key: key,
+		Segs: []invoke.Seg{
+			{Work: 1, Fork: func() invoke.Task { return fftTree(half) }},
+			{Call: func() invoke.Task { return fftTree(half) }, Join: true},
+			{Call: func() invoke.Task { return combineTree(half) }},
+		}}
+}
+
+func combineTree(span int) invoke.Task {
+	key := uint64(span)<<8 | 0xCB
+	if span <= fftSerialCutoff {
+		work := int64(span) / 2
+		if work < 1 {
+			work = 1
+		}
+		return invoke.Task{Name: "combine-leaf", Frame: frameMedium, Key: key,
+			Segs: []invoke.Seg{{Work: work}}}
+	}
+	h := span / 2
+	return invoke.Task{Name: "combine", Frame: frameMedium, Key: key,
+		Segs: []invoke.Seg{
+			{Work: 1, Fork: func() invoke.Task { return combineTree(h) }},
+			{Call: func() invoke.Task { return combineTree(span - h) }, Join: true},
+		}}
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

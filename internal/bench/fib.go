@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+)
+
+// Fib is the recursive Fibonacci benchmark: no real work, pure fork/join
+// overhead — the paper's most extreme stress of calling-convention cost
+// (Figure 3 shows the largest runtime-to-runtime gaps on fib).
+// N is the Fibonacci index (paper: 42).
+var Fib = register(&Spec{
+	Name:        "fib",
+	Description: "Recursive Fibonacci",
+	ArgDoc:      "N = Fibonacci index",
+	Default:     Arg{N: 27},
+	Paper:       Arg{N: 42},
+	Sim:         Arg{N: 28},
+	Serial:      func(a Arg) uint64 { return uint64(fibSerial(a.N)) },
+	Parallel: func(w *core.W, a Arg) uint64 {
+		var out int64
+		fibParallel(w, a.N, &out)
+		return uint64(out)
+	},
+	Tree: func(a Arg) invoke.Task { return fibTree(a.N) },
+})
+
+func fibSerial(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	return fibSerial(n-1) + fibSerial(n-2)
+}
+
+// fibParallel is Listing 1's parfib: fork fib(n-1), call fib(n-2), join.
+func fibParallel(w *core.W, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var fr core.Frame
+	w.Init(&fr)
+	var x, y int64
+	w.ForkSized(&fr, frameSmall, func(w *core.W) { fibParallel(w, n-1, &x) })
+	w.CallSized(frameSmall, func(w *core.W) { fibParallel(w, n-2, &y) })
+	w.Join(&fr)
+	*out = x + y
+}
+
+// fibTree mirrors fibParallel. Every node carries ~20 units (≈ns) of real
+// work — the call, branch, and add a serial fib invocation costs — which is
+// what makes fork-path overhead ratios on fib match Figure 3. Keys enable
+// memoized analysis up to the paper's fib(42).
+func fibTree(n int) invoke.Task {
+	if n < 2 {
+		return invoke.Task{
+			Name: "fib-leaf", Frame: frameSmall, Key: uint64(n) + 1,
+			Segs: []invoke.Seg{{Work: 20}},
+		}
+	}
+	return invoke.Task{
+		Name: "fib", Frame: frameSmall, Key: uint64(n) + 1,
+		Segs: []invoke.Seg{
+			{Work: 10, Fork: func() invoke.Task { return fibTree(n - 1) }},
+			{Work: 0, Call: func() invoke.Task { return fibTree(n - 2) }},
+			{Work: 10, Join: true},
+		},
+	}
+}

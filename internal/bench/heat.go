@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+)
+
+// heatRowCutoff is the row-block size updated serially per task.
+const heatRowCutoff = 16
+
+// Heat runs 5-point Jacobi heat diffusion on an N×N grid for M timesteps
+// (paper: 2048×500): every step forks a recursive row-range split over a
+// double-buffered grid. Forks are wide but shallow, and a full join
+// barrier separates steps — the opposite DAG shape from fib, which is why
+// the paper includes it.
+// N is the grid edge; M is the timestep count.
+var Heat = register(&Spec{
+	Name:        "heat",
+	Description: "Jacobi heat diffusion",
+	ArgDoc:      "N = grid edge, M = timesteps",
+	Default:     Arg{N: 192, M: 24},
+	Paper:       Arg{N: 2048, M: 500},
+	Sim:         Arg{N: 512, M: 50},
+	Serial: func(a Arg) uint64 {
+		cur, next := heatInput(a.N)
+		for t := 0; t < a.M; t++ {
+			heatRows(next, cur, 1, a.N-1)
+			cur, next = next, cur
+		}
+		return cur.checksum()
+	},
+	Parallel: func(w *core.W, a Arg) uint64 {
+		cur, next := heatInput(a.N)
+		for t := 0; t < a.M; t++ {
+			heatStepParallel(w, next, cur, 1, a.N-1)
+			cur, next = next, cur
+		}
+		return cur.checksum()
+	},
+	Tree: func(a Arg) invoke.Task { return heatTree(a.N, a.M) },
+})
+
+// heatInput builds the initial grid (hot left wall, seeded interior noise)
+// and a same-shape scratch buffer whose boundary matches.
+func heatInput(n int) (cur, next mat) {
+	cur, next = newMat(n, n), newMat(n, n)
+	rng := splitmix64{state: 0x4EA7}
+	for i := 0; i < n; i++ {
+		cur.set(i, 0, 100.0)
+		next.set(i, 0, 100.0)
+		for j := 1; j < n; j++ {
+			cur.set(i, j, float64(rng.next()%100)/100.0)
+		}
+	}
+	// Static boundary rows/cols carry over every step.
+	for j := 0; j < n; j++ {
+		next.set(0, j, cur.at(0, j))
+		next.set(n-1, j, cur.at(n-1, j))
+	}
+	for i := 0; i < n; i++ {
+		next.set(i, n-1, cur.at(i, n-1))
+	}
+	return cur, next
+}
+
+// heatRows updates interior rows [lo, hi) with the 5-point stencil.
+func heatRows(next, cur mat, lo, hi int) {
+	n := cur.cols
+	for i := lo; i < hi; i++ {
+		for j := 1; j < n-1; j++ {
+			v := cur.at(i, j) + 0.1*(cur.at(i-1, j)+cur.at(i+1, j)+
+				cur.at(i, j-1)+cur.at(i, j+1)-4*cur.at(i, j))
+			next.set(i, j, v)
+		}
+	}
+}
+
+// heatStepParallel recursively splits the row range; blocks write disjoint
+// rows of next and only read cur, so every fork is independent.
+func heatStepParallel(w *core.W, next, cur mat, lo, hi int) {
+	if hi-lo <= heatRowCutoff {
+		heatRows(next, cur, lo, hi)
+		return
+	}
+	mid := (lo + hi) / 2
+	var fr core.Frame
+	w.Init(&fr)
+	w.ForkSized(&fr, frameMedium, func(w *core.W) { heatStepParallel(w, next, cur, lo, mid) })
+	w.CallSized(frameMedium, func(w *core.W) { heatStepParallel(w, next, cur, mid, hi) })
+	w.Join(&fr)
+}
+
+// heatTree: M sequential timesteps, each a keyed row-split fork tree.
+func heatTree(n, steps int) invoke.Task {
+	segs := make([]invoke.Seg, 0, steps+1)
+	for t := 0; t < steps; t++ {
+		segs = append(segs, invoke.Seg{
+			Work: 1,
+			Call: func() invoke.Task { return heatStepTree(n, n-2) },
+		})
+	}
+	return invoke.Task{Name: "heat", Frame: frameMedium, Segs: segs}
+}
+
+func heatStepTree(n, rows int) invoke.Task {
+	key := uint64(n)<<24 | uint64(rows)<<4 | 0xE
+	if rows <= heatRowCutoff {
+		work := int64(rows) * int64(n) / 8
+		if work < 1 {
+			work = 1
+		}
+		return invoke.Task{Name: "heat-rows", Frame: frameMedium, Key: key,
+			Segs: []invoke.Seg{{Work: work}}}
+	}
+	h := rows / 2
+	return invoke.Task{Name: "heat-step", Frame: frameMedium, Key: key,
+		Segs: []invoke.Seg{
+			{Work: 1, Fork: func() invoke.Task { return heatStepTree(n, h) }},
+			{Call: func() invoke.Task { return heatStepTree(n, rows-h) }, Join: true},
+		}}
+}

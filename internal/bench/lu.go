@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+)
+
+// luBase is the dimension at which LU and the triangular solves switch to
+// serial kernels.
+const luBase = 32
+
+// LU factors a seeded diagonally dominant N×N matrix (paper: N = 4096)
+// in place into L·U without pivoting, by quadrant recursion: factor A00;
+// solve the two off-diagonal panels (in parallel — they are independent);
+// form the Schur complement A11 −= A10·A01 with the parallel multiply;
+// recurse on A11.
+// N is the matrix dimension.
+var LU = register(&Spec{
+	Name:        "lu",
+	Description: "LU decomposition",
+	ArgDoc:      "N = square matrix dimension",
+	Default:     Arg{N: 192},
+	Paper:       Arg{N: 4096},
+	Sim:         Arg{N: 768},
+	Serial: func(a Arg) uint64 {
+		A := spdMat(0x10, a.N)
+		luSerial(A)
+		return A.checksum()
+	},
+	Parallel: func(w *core.W, a Arg) uint64 {
+		A := spdMat(0x10, a.N)
+		luParallel(w, A)
+		return A.checksum()
+	},
+	Tree: func(a Arg) invoke.Task { return luTree(a.N) },
+})
+
+// luKernel is in-place Doolittle LU (unit lower) on a small block.
+func luKernel(a mat) {
+	n := a.rows
+	for k := 0; k < n; k++ {
+		pivot := a.at(k, k)
+		for i := k + 1; i < n; i++ {
+			l := a.at(i, k) / pivot
+			a.set(i, k, l)
+			for j := k + 1; j < n; j++ {
+				a.add(i, j, -l*a.at(k, j))
+			}
+		}
+	}
+}
+
+// lowerSolveKernel solves L·X = B in place on B, L unit lower triangular.
+func lowerSolveKernel(l, b mat) {
+	for i := 0; i < l.rows; i++ {
+		for k := 0; k < i; k++ {
+			lik := l.at(i, k)
+			if lik == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				b.add(i, j, -lik*b.at(k, j))
+			}
+		}
+	}
+}
+
+// upperSolveKernel solves X·U = B in place on B, U upper triangular.
+func upperSolveKernel(u, b mat) {
+	for j := 0; j < u.cols; j++ {
+		ujj := u.at(j, j)
+		for i := 0; i < b.rows; i++ {
+			v := b.at(i, j)
+			for k := 0; k < j; k++ {
+				v -= b.at(i, k) * u.at(k, j)
+			}
+			b.set(i, j, v/ujj)
+		}
+	}
+}
+
+// lowerSolveSerial recursively solves L·X = B in place on B.
+func lowerSolveSerial(l, b mat) {
+	if l.rows <= luBase {
+		lowerSolveKernel(l, b)
+		return
+	}
+	h := l.rows / 2
+	l00 := l.sub(0, 0, h, h)
+	l10 := l.sub(h, 0, l.rows-h, h)
+	l11 := l.sub(h, h, l.rows-h, l.rows-h)
+	bt := b.sub(0, 0, h, b.cols)
+	bb := b.sub(h, 0, b.rows-h, b.cols)
+	lowerSolveSerial(l00, bt)
+	mulNegSerial(bb, l10, bt)
+	lowerSolveSerial(l11, bb)
+}
+
+// lowerSolveParallel splits B's columns in parallel, rows sequentially.
+func lowerSolveParallel(w *core.W, l, b mat) {
+	if b.cols > luBase {
+		h := b.cols / 2
+		b0, b1 := b.sub(0, 0, b.rows, h), b.sub(0, h, b.rows, b.cols-h)
+		var fr core.Frame
+		w.Init(&fr)
+		w.ForkSized(&fr, frameLarge, func(w *core.W) { lowerSolveParallel(w, l, b0) })
+		w.CallSized(frameLarge, func(w *core.W) { lowerSolveParallel(w, l, b1) })
+		w.Join(&fr)
+		return
+	}
+	lowerSolveSerial(l, b)
+}
+
+// upperSolveSerial recursively solves X·U = B in place on B.
+func upperSolveSerial(u, b mat) {
+	if u.rows <= luBase {
+		upperSolveKernel(u, b)
+		return
+	}
+	h := u.rows / 2
+	u00 := u.sub(0, 0, h, h)
+	u01 := u.sub(0, h, h, u.cols-h)
+	u11 := u.sub(h, h, u.rows-h, u.cols-h)
+	bl := b.sub(0, 0, b.rows, h)
+	br := b.sub(0, h, b.rows, b.cols-h)
+	upperSolveSerial(u00, bl)
+	mulNegSerial(br, bl, u01)
+	upperSolveSerial(u11, br)
+}
+
+// upperSolveParallel splits B's rows in parallel, columns sequentially.
+func upperSolveParallel(w *core.W, u, b mat) {
+	if b.rows > luBase {
+		h := b.rows / 2
+		b0, b1 := b.sub(0, 0, h, b.cols), b.sub(h, 0, b.rows-h, b.cols)
+		var fr core.Frame
+		w.Init(&fr)
+		w.ForkSized(&fr, frameLarge, func(w *core.W) { upperSolveParallel(w, u, b0) })
+		w.CallSized(frameLarge, func(w *core.W) { upperSolveParallel(w, u, b1) })
+		w.Join(&fr)
+		return
+	}
+	upperSolveSerial(u, b)
+}
+
+// mulNegSerial computes C −= A·B serially (for solve updates).
+func mulNegSerial(c, a, b mat) {
+	for i := 0; i < a.rows; i++ {
+		crow := c.data[i*c.stride : i*c.stride+c.cols]
+		for k := 0; k < a.cols; k++ {
+			av := a.at(i, k)
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.stride : k*b.stride+b.cols]
+			for j := range crow {
+				crow[j] -= av * brow[j]
+			}
+		}
+	}
+}
+
+// schurSerial computes C −= A·B with the divide-and-conquer split rule, so
+// the parallel Schur update is bit-identical.
+func schurSerial(c, a, b mat) {
+	switch mulSplit(a.rows, a.cols, b.cols) {
+	case 0:
+		mulNegSerial(c, a, b)
+	case 1:
+		h := a.rows / 2
+		schurSerial(c.sub(0, 0, h, c.cols), a.sub(0, 0, h, a.cols), b)
+		schurSerial(c.sub(h, 0, c.rows-h, c.cols), a.sub(h, 0, a.rows-h, a.cols), b)
+	case 2:
+		h := b.cols / 2
+		schurSerial(c.sub(0, 0, c.rows, h), a, b.sub(0, 0, b.rows, h))
+		schurSerial(c.sub(0, h, c.rows, c.cols-h), a, b.sub(0, h, b.rows, b.cols-h))
+	case 3:
+		h := a.cols / 2
+		schurSerial(c, a.sub(0, 0, a.rows, h), b.sub(0, 0, h, b.cols))
+		schurSerial(c, a.sub(0, h, a.rows, a.cols-h), b.sub(h, 0, b.rows-h, b.cols))
+	}
+}
+
+func schurParallel(w *core.W, c, a, b mat) {
+	switch mulSplit(a.rows, a.cols, b.cols) {
+	case 0:
+		mulNegSerial(c, a, b)
+	case 1:
+		h := a.rows / 2
+		c0, a0 := c.sub(0, 0, h, c.cols), a.sub(0, 0, h, a.cols)
+		c1, a1 := c.sub(h, 0, c.rows-h, c.cols), a.sub(h, 0, a.rows-h, a.cols)
+		var fr core.Frame
+		w.Init(&fr)
+		w.ForkSized(&fr, frameLarge, func(w *core.W) { schurParallel(w, c0, a0, b) })
+		w.CallSized(frameLarge, func(w *core.W) { schurParallel(w, c1, a1, b) })
+		w.Join(&fr)
+	case 2:
+		h := b.cols / 2
+		c0, b0 := c.sub(0, 0, c.rows, h), b.sub(0, 0, b.rows, h)
+		c1, b1 := c.sub(0, h, c.rows, c.cols-h), b.sub(0, h, b.rows, b.cols-h)
+		var fr core.Frame
+		w.Init(&fr)
+		w.ForkSized(&fr, frameLarge, func(w *core.W) { schurParallel(w, c0, a, b0) })
+		w.CallSized(frameLarge, func(w *core.W) { schurParallel(w, c1, a, b1) })
+		w.Join(&fr)
+	case 3:
+		h := a.cols / 2
+		a0, b0 := a.sub(0, 0, a.rows, h), b.sub(0, 0, h, b.cols)
+		a1, b1 := a.sub(0, h, a.rows, a.cols-h), b.sub(h, 0, b.rows-h, b.cols)
+		w.CallSized(frameLarge, func(w *core.W) { schurParallel(w, c, a0, b0) })
+		w.CallSized(frameLarge, func(w *core.W) { schurParallel(w, c, a1, b1) })
+	}
+}
+
+func luSerial(a mat) {
+	if a.rows <= luBase {
+		luKernel(a)
+		return
+	}
+	h := a.rows / 2
+	a00 := a.sub(0, 0, h, h)
+	a01 := a.sub(0, h, h, a.cols-h)
+	a10 := a.sub(h, 0, a.rows-h, h)
+	a11 := a.sub(h, h, a.rows-h, a.cols-h)
+	luSerial(a00)
+	lowerSolveSerial(a00, a01) // A01 := L00⁻¹ A01
+	upperSolveSerial(a00, a10) // A10 := A10 U00⁻¹
+	schurSerial(a11, a10, a01) // A11 −= A10·A01
+	luSerial(a11)
+}
+
+func luParallel(w *core.W, a mat) {
+	if a.rows <= luBase {
+		luKernel(a)
+		return
+	}
+	h := a.rows / 2
+	a00 := a.sub(0, 0, h, h)
+	a01 := a.sub(0, h, h, a.cols-h)
+	a10 := a.sub(h, 0, a.rows-h, h)
+	a11 := a.sub(h, h, a.rows-h, a.cols-h)
+	w.CallSized(frameLarge, func(w *core.W) { luParallel(w, a00) })
+	var fr core.Frame
+	w.Init(&fr)
+	w.ForkSized(&fr, frameLarge, func(w *core.W) { lowerSolveParallel(w, a00, a01) })
+	w.CallSized(frameLarge, func(w *core.W) { upperSolveParallel(w, a00, a10) })
+	w.Join(&fr)
+	w.CallSized(frameLarge, func(w *core.W) { schurParallel(w, a11, a10, a01) })
+	w.CallSized(frameLarge, func(w *core.W) { luParallel(w, a11) })
+}
+
+// treeBase is the leaf granularity of the *model* trees for lu and
+// cholesky: finer than the real kernels' luBase so the simulator sees the
+// span the algorithm actually permits rather than artifacts of leaf size.
+const treeBase = 16
+
+// luTree mirrors luParallel, keyed by dimension.
+func luTree(n int) invoke.Task {
+	key := uint64(n)<<8 | 0x1C
+	if n <= treeBase {
+		work := int64(n) * int64(n) * int64(n) / 12
+		if work < 1 {
+			work = 1
+		}
+		return invoke.Task{Name: "lu-kernel", Frame: frameLarge, Key: key,
+			Segs: []invoke.Seg{{Work: work}}}
+	}
+	h := n / 2
+	return invoke.Task{Name: "lu", Frame: frameLarge, Key: key,
+		Segs: []invoke.Seg{
+			{Work: 1, Call: func() invoke.Task { return luTree(h) }},
+			{Fork: func() invoke.Task { return solveTree(h, n-h, false) }},
+			{Call: func() invoke.Task { return solveTree(h, n-h, true) }, Join: true},
+			{Call: func() invoke.Task { return mulTree(n-h, h, n-h) }},
+			{Call: func() invoke.Task { return luTree(n - h) }},
+		}}
+}
+
+// solveTree models the panel solves: repeated halving of the panel's free
+// dimension in parallel, then a serial triangular solve leaf.
+func solveTree(tri, panel int, upper bool) invoke.Task {
+	key := uint64(tri)<<24 | uint64(panel)<<2 | 0x2
+	if upper {
+		key |= 1
+	}
+	if panel <= treeBase {
+		work := int64(tri) * int64(tri) * int64(panel) / 16
+		if work < 1 {
+			work = 1
+		}
+		return invoke.Task{Name: "solve-kernel", Frame: frameLarge, Key: key,
+			Segs: []invoke.Seg{{Work: work}}}
+	}
+	h := panel / 2
+	return invoke.Task{Name: "solve", Frame: frameLarge, Key: key,
+		Segs: []invoke.Seg{
+			{Work: 1, Fork: func() invoke.Task { return solveTree(tri, h, upper) }},
+			{Call: func() invoke.Task { return solveTree(tri, panel-h, upper) }, Join: true},
+		}}
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+)
+
+// Matmul multiplies two seeded N×N matrices (paper: N = 2048) by divide
+// and conquer: split the largest dimension; row and column splits fork
+// (their outputs are disjoint), k-splits run sequentially (both halves
+// accumulate into the same C), so parallel and serial results are
+// bit-identical.
+// N is the matrix dimension.
+var Matmul = register(&Spec{
+	Name:        "matmul",
+	Description: "Matrix multiply",
+	ArgDoc:      "N = square matrix dimension",
+	Default:     Arg{N: 192},
+	Paper:       Arg{N: 2048},
+	Sim:         Arg{N: 512},
+	Serial: func(a Arg) uint64 {
+		A, B := randMat(0xA0, a.N, a.N), randMat(0xB0, a.N, a.N)
+		C := newMat(a.N, a.N)
+		mulSerial(C, A, B)
+		return C.checksum()
+	},
+	Parallel: func(w *core.W, a Arg) uint64 {
+		A, B := randMat(0xA0, a.N, a.N), randMat(0xB0, a.N, a.N)
+		C := newMat(a.N, a.N)
+		mulParallel(w, C, A, B)
+		return C.checksum()
+	},
+	Tree: func(a Arg) invoke.Task { return mulTree(a.N, a.N, a.N) },
+})
+
+// Rectmul is the rectangular variant (paper: 4096): C (N × N/2) =
+// A (N × 2N) · B (2N × N/2), exercising the split rule on all three
+// dimensions with different aspect ratios.
+// N is the long dimension.
+var Rectmul = register(&Spec{
+	Name:        "rectmul",
+	Description: "Rectangular matrix multiply",
+	ArgDoc:      "N: computes (N × 2N)·(2N × N/2)",
+	Default:     Arg{N: 160},
+	Paper:       Arg{N: 4096},
+	Sim:         Arg{N: 384},
+	Serial: func(a Arg) uint64 {
+		A, B := randMat(0xA1, a.N, 2*a.N), randMat(0xB1, 2*a.N, a.N/2)
+		C := newMat(a.N, a.N/2)
+		mulSerial(C, A, B)
+		return C.checksum()
+	},
+	Parallel: func(w *core.W, a Arg) uint64 {
+		A, B := randMat(0xA1, a.N, 2*a.N), randMat(0xB1, 2*a.N, a.N/2)
+		C := newMat(a.N, a.N/2)
+		mulParallel(w, C, A, B)
+		return C.checksum()
+	},
+	Tree: func(a Arg) invoke.Task { return mulTree(a.N, 2*a.N, a.N/2) },
+})
+
+// mulSplit decides which dimension to halve: 0 = none (kernel),
+// 1 = rows of A/C, 2 = cols of B/C, 3 = the shared k dimension.
+func mulSplit(m, k, n int) int {
+	if m <= matKernelBase && k <= matKernelBase && n <= matKernelBase {
+		return 0
+	}
+	switch {
+	case m >= k && m >= n:
+		return 1
+	case n >= k:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func mulSerial(c, a, b mat) {
+	switch mulSplit(a.rows, a.cols, b.cols) {
+	case 0:
+		mulKernel(c, a, b)
+	case 1:
+		h := a.rows / 2
+		mulSerial(c.sub(0, 0, h, c.cols), a.sub(0, 0, h, a.cols), b)
+		mulSerial(c.sub(h, 0, c.rows-h, c.cols), a.sub(h, 0, a.rows-h, a.cols), b)
+	case 2:
+		h := b.cols / 2
+		mulSerial(c.sub(0, 0, c.rows, h), a, b.sub(0, 0, b.rows, h))
+		mulSerial(c.sub(0, h, c.rows, c.cols-h), a, b.sub(0, h, b.rows, b.cols-h))
+	case 3:
+		h := a.cols / 2
+		mulSerial(c, a.sub(0, 0, a.rows, h), b.sub(0, 0, h, b.cols))
+		mulSerial(c, a.sub(0, h, a.rows, a.cols-h), b.sub(h, 0, b.rows-h, b.cols))
+	}
+}
+
+func mulParallel(w *core.W, c, a, b mat) {
+	switch mulSplit(a.rows, a.cols, b.cols) {
+	case 0:
+		mulKernel(c, a, b)
+	case 1:
+		h := a.rows / 2
+		c0, a0 := c.sub(0, 0, h, c.cols), a.sub(0, 0, h, a.cols)
+		c1, a1 := c.sub(h, 0, c.rows-h, c.cols), a.sub(h, 0, a.rows-h, a.cols)
+		var fr core.Frame
+		w.Init(&fr)
+		w.ForkSized(&fr, frameLarge, func(w *core.W) { mulParallel(w, c0, a0, b) })
+		w.CallSized(frameLarge, func(w *core.W) { mulParallel(w, c1, a1, b) })
+		w.Join(&fr)
+	case 2:
+		h := b.cols / 2
+		c0, b0 := c.sub(0, 0, c.rows, h), b.sub(0, 0, b.rows, h)
+		c1, b1 := c.sub(0, h, c.rows, c.cols-h), b.sub(0, h, b.rows, b.cols-h)
+		var fr core.Frame
+		w.Init(&fr)
+		w.ForkSized(&fr, frameLarge, func(w *core.W) { mulParallel(w, c0, a, b0) })
+		w.CallSized(frameLarge, func(w *core.W) { mulParallel(w, c1, a, b1) })
+		w.Join(&fr)
+	case 3:
+		// Both halves write all of C: sequential, like the Cilk version.
+		h := a.cols / 2
+		a0, b0 := a.sub(0, 0, a.rows, h), b.sub(0, 0, h, b.cols)
+		a1, b1 := a.sub(0, h, a.rows, a.cols-h), b.sub(h, 0, b.rows-h, b.cols)
+		w.CallSized(frameLarge, func(w *core.W) { mulParallel(w, c, a0, b0) })
+		w.CallSized(frameLarge, func(w *core.W) { mulParallel(w, c, a1, b1) })
+	}
+}
+
+// mulTree mirrors mulParallel; subtrees are keyed by (m, k, n) since the
+// recursion depends only on the shape, so the paper-size trees analyze
+// and simulate via memoization where possible.
+func mulTree(m, k, n int) invoke.Task {
+	key := uint64(m)<<42 | uint64(k)<<21 | uint64(n) | 1<<63
+	switch mulSplit(m, k, n) {
+	case 0:
+		// Kernel work ≈ 2·m·k·n flops; one unit ≈ 16 flops.
+		work := int64(m) * int64(k) * int64(n) / 8
+		if work < 1 {
+			work = 1
+		}
+		return invoke.Task{Name: "mul-kernel", Frame: frameLarge, Key: key,
+			Segs: []invoke.Seg{{Work: work}}}
+	case 1:
+		h := m / 2
+		return invoke.Task{Name: "matmul", Frame: frameLarge, Key: key,
+			Segs: []invoke.Seg{
+				{Work: 1, Fork: func() invoke.Task { return mulTree(h, k, n) }},
+				{Call: func() invoke.Task { return mulTree(m-h, k, n) }, Join: true},
+			}}
+	case 2:
+		h := n / 2
+		return invoke.Task{Name: "matmul", Frame: frameLarge, Key: key,
+			Segs: []invoke.Seg{
+				{Work: 1, Fork: func() invoke.Task { return mulTree(m, k, h) }},
+				{Call: func() invoke.Task { return mulTree(m, k, n-h) }, Join: true},
+			}}
+	default:
+		h := k / 2
+		return invoke.Task{Name: "matmul", Frame: frameLarge, Key: key,
+			Segs: []invoke.Seg{
+				{Work: 1, Call: func() invoke.Task { return mulTree(m, h, n) }},
+				{Call: func() invoke.Task { return mulTree(m, k-h, n) }},
+			}}
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+// mat is a row-major matrix view with a stride, so quadrant submatrices
+// alias the parent's storage without copying — the representation all the
+// divide-and-conquer matrix benchmarks (matmul, rectmul, strassen, lu,
+// cholesky) share.
+type mat struct {
+	data   []float64
+	stride int
+	rows   int
+	cols   int
+}
+
+func newMat(rows, cols int) mat {
+	return mat{data: make([]float64, rows*cols), stride: cols, rows: rows, cols: cols}
+}
+
+// randMat fills a fresh matrix with reproducible values in [-1, 1).
+func randMat(seed uint64, rows, cols int) mat {
+	m := newMat(rows, cols)
+	rng := splitmix64{state: seed}
+	for i := range m.data {
+		m.data[i] = float64(int64(rng.next()%2000))/1000.0 - 1.0
+	}
+	return m
+}
+
+// spdMat builds a symmetric positive-definite matrix: a small seeded
+// symmetric part plus strong diagonal dominance, the standard test input
+// for cholesky and (pivot-free) lu.
+func spdMat(seed uint64, n int) mat {
+	m := newMat(n, n)
+	rng := splitmix64{state: seed}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := float64(int64(rng.next()%1000))/1000.0 - 0.5
+			m.set(i, j, v)
+			m.set(j, i, v)
+		}
+		m.set(i, i, float64(n))
+	}
+	return m
+}
+
+func (m mat) at(i, j int) float64     { return m.data[i*m.stride+j] }
+func (m mat) set(i, j int, v float64) { m.data[i*m.stride+j] = v }
+func (m mat) add(i, j int, v float64) { m.data[i*m.stride+j] += v }
+
+// sub returns the rows×cols view starting at (r0, c0).
+func (m mat) sub(r0, c0, rows, cols int) mat {
+	return mat{
+		data:   m.data[r0*m.stride+c0:],
+		stride: m.stride,
+		rows:   rows,
+		cols:   cols,
+	}
+}
+
+// quad splits a matrix with even dimensions into quadrants.
+func (m mat) quad() (m00, m01, m10, m11 mat) {
+	hr, hc := m.rows/2, m.cols/2
+	return m.sub(0, 0, hr, hc), m.sub(0, hc, hr, m.cols-hc),
+		m.sub(hr, 0, m.rows-hr, hc), m.sub(hr, hc, m.rows-hr, m.cols-hc)
+}
+
+// checksum folds every element, scanning in row order so serial and
+// parallel results (which are bit-identical) hash equally.
+func (m mat) checksum() uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.stride : i*m.stride+m.cols]
+		for _, v := range row {
+			h = mix(h, f64bits(v))
+		}
+	}
+	return h
+}
+
+// zero clears the view.
+func (m mat) zero() {
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.stride : i*m.stride+m.cols]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// copyFrom copies src (same shape) into m.
+func (m mat) copyFrom(src mat) {
+	for i := 0; i < m.rows; i++ {
+		copy(m.data[i*m.stride:i*m.stride+m.cols],
+			src.data[i*src.stride:i*src.stride+src.cols])
+	}
+}
+
+// addFrom adds src (same shape) into m.
+func (m mat) addFrom(src mat) {
+	for i := 0; i < m.rows; i++ {
+		d := m.data[i*m.stride : i*m.stride+m.cols]
+		s := src.data[i*src.stride : i*src.stride+src.cols]
+		for j := range d {
+			d[j] += s[j]
+		}
+	}
+}
+
+// subFrom subtracts src (same shape) from m.
+func (m mat) subFrom(src mat) {
+	for i := 0; i < m.rows; i++ {
+		d := m.data[i*m.stride : i*m.stride+m.cols]
+		s := src.data[i*src.stride : i*src.stride+src.cols]
+		for j := range d {
+			d[j] -= s[j]
+		}
+	}
+}
+
+// matKernelBase is the dimension at which divide-and-conquer multiplies
+// switch to the serial kernel.
+const matKernelBase = 32
+
+// mulKernel computes C += A·B serially with an ikj loop (stride-friendly).
+func mulKernel(c, a, b mat) {
+	for i := 0; i < a.rows; i++ {
+		crow := c.data[i*c.stride : i*c.stride+c.cols]
+		for k := 0; k < a.cols; k++ {
+			av := a.at(i, k)
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.stride : k*b.stride+b.cols]
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+)
+
+// NQueens counts the placements of N non-attacking queens (paper: N = 14)
+// by row-by-row bitmask backtracking, forking one child per legal column —
+// the classic irregular-parallelism benchmark: subtree sizes vary wildly,
+// exercising the load balancer.
+// N is the board size.
+var NQueens = register(&Spec{
+	Name:        "nqueens",
+	Description: "Count ways to place N queens",
+	ArgDoc:      "N = board size",
+	Default:     Arg{N: 10},
+	Paper:       Arg{N: 14},
+	Sim:         Arg{N: 12},
+	Serial:      func(a Arg) uint64 { return uint64(nqSerial(a.N, 0, 0, 0)) },
+	Parallel: func(w *core.W, a Arg) uint64 {
+		var out int64
+		nqParallel(w, a.N, 0, 0, 0, &out)
+		return uint64(out)
+	},
+	Tree: func(a Arg) invoke.Task { return nqTree(a.N, 0, 0, 0) },
+})
+
+// nqSerial counts completions given column/diagonal occupancy masks.
+func nqSerial(n int, cols, diag1, diag2 uint32) int64 {
+	row := popcount(cols)
+	if int(row) == n {
+		return 1
+	}
+	full := uint32(1<<n) - 1
+	avail := full &^ (cols | diag1 | diag2)
+	var count int64
+	for avail != 0 {
+		bit := avail & (-avail)
+		avail &^= bit
+		count += nqSerial(n, cols|bit, (diag1|bit)<<1&full, (diag2|bit)>>1)
+	}
+	return count
+}
+
+func popcount(x uint32) uint32 {
+	var c uint32
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// nqParallel forks one child per candidate column; results land in
+// per-child slots, summed after the join — no shared counters on the hot
+// path.
+func nqParallel(w *core.W, n int, cols, diag1, diag2 uint32, out *int64) {
+	row := popcount(cols)
+	if int(row) == n {
+		*out = 1
+		return
+	}
+	full := uint32(1<<n) - 1
+	avail := full &^ (cols | diag1 | diag2)
+	if avail == 0 {
+		*out = 0
+		return
+	}
+	// The last few rows run serially: forking single-row subtrees would be
+	// all overhead, and the Cilk version bottoms out the same way.
+	if int(row) >= n-3 {
+		*out = nqSerial(n, cols, diag1, diag2)
+		return
+	}
+	var fr core.Frame
+	w.Init(&fr)
+	counts := make([]int64, 0, n)
+	for avail != 0 {
+		bit := avail & (-avail)
+		avail &^= bit
+		counts = append(counts, 0)
+		slot := &counts[len(counts)-1]
+		c, d1, d2 := cols|bit, (diag1|bit)<<1&full, (diag2|bit)>>1
+		w.ForkSized(&fr, frameLarge, func(w *core.W) {
+			nqParallel(w, n, c, d1, d2, slot)
+		})
+	}
+	w.Join(&fr)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	*out = total
+}
+
+// nqTree mirrors nqParallel: all children forked, one join.
+func nqTree(n int, cols, diag1, diag2 uint32) invoke.Task {
+	row := popcount(cols)
+	full := uint32(1<<n) - 1
+	avail := full &^ (cols | diag1 | diag2)
+	if int(row) == n || avail == 0 || int(row) >= n-3 {
+		// Serial tail: weight by the actual number of nodes it explores.
+		work := 25 * nqSerialNodes(n, cols, diag1, diag2)
+		return invoke.Task{Name: "nq-leaf", Frame: frameLarge,
+			Segs: []invoke.Seg{{Work: work}}}
+	}
+	var segs []invoke.Seg
+	for avail != 0 {
+		bit := avail & (-avail)
+		avail &^= bit
+		c, d1, d2 := cols|bit, (diag1|bit)<<1&full, (diag2|bit)>>1
+		segs = append(segs, invoke.Seg{Work: 12, Fork: func() invoke.Task {
+			return nqTree(n, c, d1, d2)
+		}})
+	}
+	segs = append(segs, invoke.Seg{Work: 12, Join: true})
+	return invoke.Task{Name: "nqueens", Frame: frameLarge, Segs: segs}
+}
+
+// nqSerialNodes counts backtracking nodes, the serial tail's work proxy.
+func nqSerialNodes(n int, cols, diag1, diag2 uint32) int64 {
+	if int(popcount(cols)) == n {
+		return 1
+	}
+	full := uint32(1<<n) - 1
+	avail := full &^ (cols | diag1 | diag2)
+	nodes := int64(1)
+	for avail != 0 {
+		bit := avail & (-avail)
+		avail &^= bit
+		nodes += nqSerialNodes(n, cols|bit, (diag1|bit)<<1&full, (diag2|bit)>>1)
+	}
+	return nodes
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+)
+
+// qsCutoff is the subarray size below which quicksort runs serially, as in
+// the Cilk version.
+const qsCutoff = 1024
+
+// Quicksort sorts N seeded int64s (paper: N = 10⁸) with median-of-three
+// parallel quicksort: partition, fork the left half, call the right,
+// join. Its deep, pivot-skewed recursion produces the paper's largest
+// Fibril depth (Table 3 lists D = 69) and the most steals (Table 2).
+// N is the element count.
+var Quicksort = register(&Spec{
+	Name:        "quicksort",
+	Description: "Parallel quicksort",
+	ArgDoc:      "N = number of 64-bit keys",
+	Default:     Arg{N: 300_000},
+	Paper:       Arg{N: 100_000_000},
+	Sim:         Arg{N: 3_000_000},
+	Serial: func(a Arg) uint64 {
+		data := qsInput(a.N)
+		qsSerial(data)
+		return qsChecksum(data)
+	},
+	Parallel: func(w *core.W, a Arg) uint64 {
+		data := qsInput(a.N)
+		qsParallel(w, data)
+		return qsChecksum(data)
+	},
+	Tree: func(a Arg) invoke.Task {
+		rng := splitmix64{state: 0x51C}
+		return qsTree(a.N, &rng)
+	},
+})
+
+func qsInput(n int) []int64 {
+	rng := splitmix64{state: 0x5017}
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(rng.next())
+	}
+	return data
+}
+
+// qsChecksum verifies sortedness and folds a sample of elements.
+func qsChecksum(data []int64) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 1; i < len(data); i++ {
+		if data[i-1] > data[i] {
+			return 0 // unsorted: poison the checksum
+		}
+	}
+	for i := 0; i < len(data); i += 1009 {
+		h = mix(h, uint64(data[i]))
+	}
+	return mix(h, uint64(len(data)))
+}
+
+// median3 returns the median of a, b, c.
+func median3(a, b, c int64) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// qsPartition is Hoare partition around the median of first/middle/last.
+// With the pivot drawn from the data, the returned cut is always in
+// [1, len-1], so neither side is empty.
+func qsPartition(data []int64) int {
+	n := len(data)
+	pivot := median3(data[0], data[n/2], data[n-1])
+	i, j := 0, n-1
+	for {
+		for data[i] < pivot {
+			i++
+		}
+		for data[j] > pivot {
+			j--
+		}
+		if i >= j {
+			return j + 1
+		}
+		data[i], data[j] = data[j], data[i]
+		i++
+		j--
+	}
+}
+
+func insertionSort(data []int64) {
+	for i := 1; i < len(data); i++ {
+		v := data[i]
+		j := i - 1
+		for j >= 0 && data[j] > v {
+			data[j+1] = data[j]
+			j--
+		}
+		data[j+1] = v
+	}
+}
+
+func qsSerial(data []int64) {
+	for len(data) > 32 {
+		mid := qsPartition(data)
+		if mid <= 0 || mid >= len(data) {
+			// Unreachable with median-of-three Hoare; keep a correct
+			// fallback rather than an infinite recursion.
+			insertionSort(data)
+			return
+		}
+		qsSerial(data[:mid])
+		data = data[mid:]
+	}
+	insertionSort(data)
+}
+
+func qsParallel(w *core.W, data []int64) {
+	if len(data) <= qsCutoff {
+		qsSerial(data)
+		return
+	}
+	mid := qsPartition(data)
+	if mid <= 0 || mid >= len(data) {
+		qsSerial(data)
+		return
+	}
+	var fr core.Frame
+	w.Init(&fr)
+	left, right := data[:mid], data[mid:]
+	w.ForkSized(&fr, frameLarge, func(w *core.W) { qsParallel(w, left) })
+	w.CallSized(frameLarge, func(w *core.W) { qsParallel(w, right) })
+	w.Join(&fr)
+}
+
+// qsTree models the recursion shape statistically: splits are drawn from a
+// seeded distribution matching median-of-three behaviour (centred, mildly
+// skewed), and leaf work is proportional to the serial cutoff sort. The
+// real splits depend on the data; for the simulator only the shape
+// statistics matter.
+func qsTree(n int, rng *splitmix64) invoke.Task {
+	if n <= qsCutoff {
+		work := int64(n) / 16
+		if work < 1 {
+			work = 1
+		}
+		return invoke.Task{Name: "qs-leaf", Frame: frameLarge,
+			Segs: []invoke.Seg{{Work: work}}}
+	}
+	// Split fraction in [0.25, 0.75): median-of-three keeps splits away
+	// from the extremes.
+	frac := 0.25 + float64(rng.next()%500)/1000.0
+	left := int(float64(n) * frac)
+	if left < 1 {
+		left = 1
+	}
+	right := n - left
+	partitionWork := int64(n) / 16 // the O(n) partition happens pre-fork
+	if partitionWork < 1 {
+		partitionWork = 1
+	}
+	lseed, rseed := rng.next(), rng.next()
+	return invoke.Task{
+		Name: "quicksort", Frame: frameLarge,
+		Segs: []invoke.Seg{
+			{Work: partitionWork, Fork: func() invoke.Task {
+				r := splitmix64{state: lseed}
+				return qsTree(left, &r)
+			}},
+			{Work: 0, Call: func() invoke.Task {
+				r := splitmix64{state: rseed}
+				return qsTree(right, &r)
+			}},
+			{Work: 1, Join: true},
+		},
+	}
+}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"testing"
+
+	"fibril/internal/invoke"
+)
+
+// TestSimTreeSizesStayTractable pins the Sim-input tree sizes: the Figure 4
+// sweeps run dozens of simulations per benchmark, so every Sim tree must
+// stay in the low millions of tasks.
+func TestSimTreeSizesStayTractable(t *testing.T) {
+	const limit = 3_000_000
+	for _, s := range All() {
+		m := invoke.Analyze(s.Tree(s.Sim))
+		if m.Tasks > limit {
+			t.Errorf("%s: sim tree has %d tasks (> %d)", s.Name, m.Tasks, limit)
+		}
+	}
+}
+
+func TestIntegrateSizing(t *testing.T) {
+	for _, a := range []Arg{{N: 300, M: 4}, {N: 400, M: 4}, {N: 500, M: 4}, {N: 800, M: 4}} {
+		m := invoke.Analyze(Integrate.Tree(a))
+		t.Logf("integrate %v: tasks=%d T1=%d", a, m.Tasks, m.Work)
+	}
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+)
+
+// strassenBase is the dimension at which Strassen falls back to the
+// standard divide-and-conquer multiply, as the Cilk version does.
+const strassenBase = 64
+
+// Strassen multiplies two seeded N×N matrices (paper: N = 4096) with
+// Strassen's seven-product recursion. The seven products go to disjoint
+// temporaries, so all seven fork in parallel; the quadrant combinations
+// run in a fixed order, keeping results bit-identical to the serial run.
+// N must be a power of two.
+var Strassen = register(&Spec{
+	Name:        "strassen",
+	Description: "Strassen matrix multiply",
+	ArgDoc:      "N = square matrix dimension (power of two)",
+	Default:     Arg{N: 256},
+	Paper:       Arg{N: 4096},
+	Sim:         Arg{N: 1024},
+	Serial: func(a Arg) uint64 {
+		A, B := randMat(0xA2, a.N, a.N), randMat(0xB2, a.N, a.N)
+		C := newMat(a.N, a.N)
+		strassenSerial(C, A, B)
+		return C.checksum()
+	},
+	Parallel: func(w *core.W, a Arg) uint64 {
+		A, B := randMat(0xA2, a.N, a.N), randMat(0xB2, a.N, a.N)
+		C := newMat(a.N, a.N)
+		strassenParallel(w, C, A, B)
+		return C.checksum()
+	},
+	Tree: func(a Arg) invoke.Task { return strassenTree(a.N) },
+})
+
+// strassenOperands prepares the 7 product inputs (S/T sums) and returns
+// the product temporaries M1..M7. Shared between the serial and parallel
+// versions so the arithmetic is identical.
+type strassenOps struct {
+	m        [7]mat // the products M1..M7
+	lhs, rhs [7]mat // their operands
+	a00, a01 mat
+	a10, a11 mat
+	b00, b01 mat
+	b10, b11 mat
+}
+
+func strassenPrepare(a, b mat) *strassenOps {
+	h := a.rows / 2
+	o := &strassenOps{}
+	o.a00, o.a01, o.a10, o.a11 = a.quad()
+	o.b00, o.b01, o.b10, o.b11 = b.quad()
+
+	tmp := func(src0 mat, add bool, src1 mat) mat {
+		t := newMat(h, h)
+		t.copyFrom(src0)
+		if add {
+			t.addFrom(src1)
+		} else {
+			t.subFrom(src1)
+		}
+		return t
+	}
+	for i := range o.m {
+		o.m[i] = newMat(h, h)
+	}
+	// Winograd-free classical Strassen:
+	// M1 = (A00+A11)(B00+B11), M2 = (A10+A11)B00, M3 = A00(B01−B11),
+	// M4 = A11(B10−B00), M5 = (A00+A01)B11, M6 = (A10−A00)(B00+B01),
+	// M7 = (A01−A11)(B10+B11).
+	o.lhs[0], o.rhs[0] = tmp(o.a00, true, o.a11), tmp(o.b00, true, o.b11)
+	o.lhs[1], o.rhs[1] = tmp(o.a10, true, o.a11), o.b00
+	o.lhs[2], o.rhs[2] = o.a00, tmp(o.b01, false, o.b11)
+	o.lhs[3], o.rhs[3] = o.a11, tmp(o.b10, false, o.b00)
+	o.lhs[4], o.rhs[4] = tmp(o.a00, true, o.a01), o.b11
+	o.lhs[5], o.rhs[5] = tmp(o.a10, false, o.a00), tmp(o.b00, true, o.b01)
+	o.lhs[6], o.rhs[6] = tmp(o.a01, false, o.a11), tmp(o.b10, true, o.b11)
+	return o
+}
+
+// strassenCombine assembles C's quadrants from the products:
+// C00 = M1+M4−M5+M7, C01 = M3+M5, C10 = M2+M4, C11 = M1−M2+M3+M6.
+func strassenCombine(c mat, o *strassenOps) {
+	c00, c01, c10, c11 := c.quad()
+	c00.copyFrom(o.m[0])
+	c00.addFrom(o.m[3])
+	c00.subFrom(o.m[4])
+	c00.addFrom(o.m[6])
+	c01.copyFrom(o.m[2])
+	c01.addFrom(o.m[4])
+	c10.copyFrom(o.m[1])
+	c10.addFrom(o.m[3])
+	c11.copyFrom(o.m[0])
+	c11.subFrom(o.m[1])
+	c11.addFrom(o.m[2])
+	c11.addFrom(o.m[5])
+}
+
+func strassenSerial(c, a, b mat) {
+	if a.rows <= strassenBase {
+		mulSerial(c, a, b)
+		return
+	}
+	o := strassenPrepare(a, b)
+	for i := range o.m {
+		strassenSerial(o.m[i], o.lhs[i], o.rhs[i])
+	}
+	strassenCombine(c, o)
+}
+
+func strassenParallel(w *core.W, c, a, b mat) {
+	if a.rows <= strassenBase {
+		mulSerial(c, a, b) // base products stay serial, as in Cilk strassen
+		return
+	}
+	o := strassenPrepare(a, b)
+	var fr core.Frame
+	w.Init(&fr)
+	for i := 0; i < 6; i++ {
+		i := i
+		w.ForkSized(&fr, frameLarge, func(w *core.W) {
+			strassenParallel(w, o.m[i], o.lhs[i], o.rhs[i])
+		})
+	}
+	w.CallSized(frameLarge, func(w *core.W) {
+		strassenParallel(w, o.m[6], o.lhs[6], o.rhs[6])
+	})
+	w.Join(&fr)
+	strassenCombine(c, o)
+}
+
+// strassenTree: seven children (six forked, one called), keyed by size.
+func strassenTree(n int) invoke.Task {
+	key := uint64(n)<<8 | 0x53
+	if n <= strassenBase {
+		work := int64(n) * int64(n) * int64(n) / 8
+		if work < 1 {
+			work = 1
+		}
+		return invoke.Task{Name: "strassen-base", Frame: frameLarge, Key: key,
+			Segs: []invoke.Seg{{Work: work}}}
+	}
+	prep := int64(n) * int64(n) / 4 // quadrant additions
+	segs := []invoke.Seg{{Work: prep}}
+	for i := 0; i < 6; i++ {
+		segs = append(segs, invoke.Seg{Fork: func() invoke.Task {
+			return strassenTree(n / 2)
+		}})
+	}
+	segs = append(segs,
+		invoke.Seg{Call: func() invoke.Task { return strassenTree(n / 2) }, Join: true},
+		invoke.Seg{Work: prep}, // combine
+	)
+	return invoke.Task{Name: "strassen", Frame: frameLarge, Key: key, Segs: segs}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fibril/internal/stack"
+	"fibril/internal/trace"
+)
+
+// Frame is the analogue of the paper's fibril_t (Listing 2): it
+// synchronizes the child tasks forked on it and holds the execution state
+// needed to resume its owner after a suspension. Declare one per fork-join
+// region, initialize it with W.Init, fork children with W.Fork, and wait
+// with W.Join — the same protocol as fibril_init / fibril_fork /
+// fibril_join. A Frame may be reused for several fork...join phases, but
+// never concurrently.
+//
+// The zero Frame is not ready; W.Init must run before the first Fork, just
+// as fibril_init must precede the first fibril_fork.
+type Frame struct {
+	// count is the number of pending child tasks. The paper's count fills
+	// the same role with work-first bookkeeping (incremented on first
+	// steal); with child stealing it is simply forks minus completions.
+	count atomic.Int32
+
+	mu        sync.Mutex
+	suspended bool
+	resume    chan *worker // carries the finisher's slot to the parked owner
+
+	// Saved execution state, the analogue of fibril_t.state{rbp,rsp,rip}
+	// plus fibril_t.stack: which simulated stack the frame lives on and
+	// the watermark to resume at.
+	stack     *stack.Stack
+	watermark int
+
+	depth    int32  // invocation depth of the owning task
+	parent   *Frame // frame of the task that declared this one (ancestry)
+	initMark int    // owning stack's watermark at Init (cactus branch point)
+
+	panicked *TaskPanic // first panic among the frame's children
+}
+
+// Depth returns the invocation-tree depth recorded at Init.
+func (f *Frame) Depth() int { return int(f.depth) }
+
+// Pending returns the number of outstanding children (racy snapshot).
+func (f *Frame) Pending() int { return int(f.count.Load()) }
+
+// isDescendantOf reports whether f is a proper descendant of ancestor in
+// the frame ancestry — the eligibility test of leapfrogging.
+func (f *Frame) isDescendantOf(ancestor *Frame) bool {
+	for cur := f; cur != nil; cur = cur.parent {
+		if cur == ancestor {
+			return true
+		}
+	}
+	return false
+}
+
+// Init prepares the frame for forking: records the owning stack, the
+// current invocation depth, and the enclosing frame for ancestry tracking.
+func (w *W) Init(f *Frame) {
+	f.count.Store(0)
+	f.suspended = false
+	f.stack = w.stack
+	f.watermark = 0
+	f.depth = w.depth
+	f.parent = w.frame
+	f.initMark = w.stack.Bytes()
+}
+
+// childDone is called by the worker that just completed a child of f. When
+// it completes the last pending child of a *suspended* frame it resumes the
+// parked owner, transferring the caller's worker slot to it (Listing 3
+// lines 68–75); the caller must then stop using the slot and, if it reports
+// a handoff, retire its stack to the pool.
+func (w *W) childDone(f *Frame) (handoff bool) {
+	if f.count.Add(-1) != 0 {
+		return false
+	}
+	f.mu.Lock()
+	if !f.suspended {
+		f.mu.Unlock()
+		return false
+	}
+	f.suspended = false
+	ch := f.resume
+	f.mu.Unlock()
+
+	w.rt.stats.resumes.Add(1)
+	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindResume, int64(f.stack.ID()))
+	if w.slot == nil {
+		// Goroutine baseline: just wake the waiter, no slot to transfer.
+		ch <- nil
+		return false
+	}
+	ch <- w.slot
+	return true
+}
+
+// suspend parks the calling goroutine until f's children complete,
+// unmapping the unused pages of its stack first and handing its worker
+// slot to a fresh thief. It returns false if the children finished before
+// the suspension could be committed.
+func (w *W) suspend(f *Frame) bool {
+	f.mu.Lock()
+	if f.count.Load() == 0 {
+		f.mu.Unlock()
+		return false
+	}
+	f.suspended = true
+	if f.resume == nil {
+		f.resume = make(chan *worker, 1)
+	}
+	f.watermark = w.stack.Bytes()
+	f.mu.Unlock()
+
+	rt := w.rt
+	rt.stats.suspends.Add(1)
+	rt.cfg.Tracer.Record(w.slotID(), trace.KindSuspend, int64(w.stack.ID()))
+
+	// Return the unused portion of the suspended stack to the OS
+	// (Listing 3 line 63). It is safe after publishing the suspension:
+	// nobody touches this stack until the resume channel fires, and the
+	// pages below the watermark stay mapped.
+	switch rt.cfg.Strategy {
+	case StrategyFibril:
+		freed := w.stack.UnmapAbove()
+		rt.stats.unmaps.Add(1)
+		rt.stats.unmappedPages.Add(int64(freed))
+		rt.cfg.Tracer.Record(w.slotID(), trace.KindUnmap, int64(freed))
+	case StrategyFibrilMMap:
+		freed := w.stack.MapDummyAbove()
+		rt.stats.unmaps.Add(1)
+		rt.stats.unmappedPages.Add(int64(freed))
+	}
+
+	if w.slot != nil {
+		// Hand the worker slot to a replacement thief so exactly P slots
+		// stay busy (busy leaves). The replacement takes its stack from
+		// the pool, blocking there if a bounded (Cilk Plus) pool is empty.
+		rt.goroutineWG.Add(1)
+		go rt.thiefLoop(w.slot)
+		w.slot = <-f.resume
+	} else {
+		<-f.resume // goroutine baseline: plain blocking join
+	}
+	// Remap before execution returns to the stack. The woken owner does it
+	// (not the finisher) because only the owner may touch the stack; with
+	// madvise-based unmap remap is a no-op and pages fault back lazily.
+	if rt.cfg.Strategy == StrategyFibrilMMap {
+		w.stack.RemapAbove()
+	}
+	return true
+}

@@ -1,0 +1,22 @@
+package core
+
+// rng is a per-worker xorshift64* generator for victim selection. Each
+// worker slot owns one, so randomized stealing never contends on a shared
+// RNG. The slot's occupant goroutine is the only user at any time.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x853C49E6748FEA9B
+	}
+	return rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}

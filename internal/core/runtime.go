@@ -1,0 +1,352 @@
+// Package core implements the Fibril work-stealing runtime — the paper's
+// primary contribution (SPAA 2016, §4) — together with the baseline
+// schedulers it is evaluated against (§3, §5).
+//
+// # Execution model
+//
+// The paper's Fibril steals continuations: a thief resumes the parent
+// function mid-body on a fresh machine stack, using the x86-64 calling
+// convention to keep the original frame addressable. Go forbids that
+// mechanism outright (the Go runtime owns goroutine stacks), so this
+// implementation performs the equivalent *child-stealing with suspension*
+// transformation, keeping the paper's scheduler state machine (Listing 3)
+// intact:
+//
+//   - a runtime "stack" is a (goroutine, simulated page-granular
+//     stack.Stack) pair; the goroutine's lifetime is the stack's lifetime;
+//   - Fork pushes the child task on the worker slot's deque and the parent
+//     keeps running (the child is what thieves steal);
+//   - Join first drains the slot's own deque (executing local tasks inline,
+//     which is the order work-first Cilk would have executed them in), and
+//     if children remain outstanding the parent SUSPENDS: its goroutine
+//     records the frame's stack watermark, unmaps the unused pages above it
+//     (Listing 3 line 63), hands its worker slot to a replacement thief
+//     running on a pool stack (line 93), and parks;
+//   - when the LAST child of a suspended frame completes, the finishing
+//     worker puts its own stack into the pool, "remaps" the suspended
+//     stack, and transfers its worker slot to the parked parent (lines
+//     68–75), which resumes on its original stack.
+//
+// Exactly P worker slots are occupied by runnable goroutines at all times,
+// so the busy-leaves property — the basis of the paper's space bounds —
+// holds by construction.
+//
+// # Strategies
+//
+// The Strategy selects the policy the paper compares (§3, §5): Fibril with
+// madvise-based unmap, Fibril without unmap, Cilk Plus (bounded stack pool,
+// no unmap), TBB (depth-restricted stealing executed inline on the
+// joiner's own stack, which is why TBB needs no suspension and no extra
+// stacks but forfeits the time bound), leapfrogging (descendant-restricted
+// inline stealing), and a Go-native goroutine-per-task baseline.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fibril/internal/deque"
+	"fibril/internal/stack"
+	"fibril/internal/trace"
+	"fibril/internal/vm"
+)
+
+// Strategy selects the scheduling/stack-management policy.
+type Strategy int
+
+const (
+	// StrategyFibril is the paper's contribution: suspension with
+	// madvise-based unmap of the suspended stack's unused pages.
+	StrategyFibril Strategy = iota
+	// StrategyFibrilNoUnmap is the paper's ablation: identical scheduling,
+	// but suspended stacks keep their pages (unmap is a no-op).
+	StrategyFibrilNoUnmap
+	// StrategyFibrilMMap is the unmap-via-serialized-mmap ablation from
+	// §4.3: unused pages are remapped to a dummy file under the
+	// address-space lock and must be remapped anonymous before reuse.
+	StrategyFibrilMMap
+	// StrategyCilkPlus models Intel Cilk Plus: suspension like Fibril, no
+	// unmap, a *bounded* stack pool (thieves refrain from stealing when it
+	// is empty), and a heavier spawn path.
+	StrategyCilkPlus
+	// StrategyTBB models Intel TBB: a blocked join never suspends; the
+	// worker steals only tasks strictly deeper than the joining frame and
+	// executes them inline on its own stack. Heap-allocated task objects
+	// make the spawn path the heaviest of all.
+	StrategyTBB
+	// StrategyLeapfrog restricts inline stealing further, to descendants
+	// of the joining frame (Wagner & Calder's leapfrogging).
+	StrategyLeapfrog
+	// StrategyGoroutine is the Go-native baseline: every fork is a `go`
+	// statement with its own pooled stack, joined by counter.
+	StrategyGoroutine
+	// StrategyCilkM models Lee et al.'s Cilk-M (§3): thread-local memory
+	// mapping moves the stolen stack prefix into the thief's TLMM region,
+	// so no suspension-time unmap is needed — but every steal pays a cost
+	// linear in the prefix pages. The real runtime schedules it like
+	// FibrilNoUnmap (the mapping cost is only modelled in the simulator);
+	// the simulator charges the per-steal prefix-mapping latency.
+	StrategyCilkM
+)
+
+// String returns the strategy's display name as used in the experiments.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyFibril:
+		return "fibril"
+	case StrategyFibrilNoUnmap:
+		return "fibril-nounmap"
+	case StrategyFibrilMMap:
+		return "fibril-mmap"
+	case StrategyCilkPlus:
+		return "cilkplus"
+	case StrategyTBB:
+		return "tbb"
+	case StrategyLeapfrog:
+		return "leapfrog"
+	case StrategyGoroutine:
+		return "goroutine"
+	case StrategyCilkM:
+		return "cilkm"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists every implemented strategy, in presentation order.
+func Strategies() []Strategy {
+	return []Strategy{
+		StrategyFibril, StrategyFibrilNoUnmap, StrategyFibrilMMap,
+		StrategyCilkPlus, StrategyCilkM, StrategyTBB, StrategyLeapfrog,
+		StrategyGoroutine,
+	}
+}
+
+// suspends reports whether the strategy parks blocked joiners (Fibril
+// family and Cilk Plus) rather than stealing inline (TBB, leapfrog).
+func (s Strategy) suspends() bool {
+	switch s {
+	case StrategyTBB, StrategyLeapfrog, StrategyGoroutine:
+		return false
+	}
+	return true
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Workers is the number of worker slots P. Defaults to GOMAXPROCS.
+	Workers int
+	// Strategy selects the scheduling policy. Default StrategyFibril.
+	Strategy Strategy
+	// StackPages is the size of each simulated stack. Default
+	// stack.DefaultStackPages (1 MB of 4 KB pages, as in the paper).
+	StackPages int
+	// StackLimit bounds the stack pool (Cilk Plus). 0 means the strategy
+	// default: unbounded for everything except StrategyCilkPlus, which
+	// uses stack.CilkPlusDefaultLimit (2400).
+	StackLimit int
+	// FrameBytes is the simulated activation-frame size charged for a task
+	// whose fork/call site does not specify one. Default 192 bytes.
+	FrameBytes int
+	// Seed seeds the per-worker steal RNGs. 0 means a fixed default, so
+	// runs are reproducible by default.
+	Seed uint64
+	// Tracer, when non-nil, records scheduler events (forks, steals,
+	// suspensions, resumptions, unmaps) for post-mortem inspection.
+	Tracer *trace.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.StackPages <= 0 {
+		c.StackPages = stack.DefaultStackPages
+	}
+	if c.StackLimit <= 0 {
+		if c.Strategy == StrategyCilkPlus {
+			c.StackLimit = stack.CilkPlusDefaultLimit
+		} else {
+			c.StackLimit = 0
+		}
+	}
+	if c.FrameBytes <= 0 {
+		c.FrameBytes = 192
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x9E3779B97F4A7C15
+	}
+	return c
+}
+
+// worker is one worker slot: Listing 3's worker_t, a (deque, stack) pair.
+// The stack half lives on the goroutine currently occupying the slot (see
+// package comment); the slot itself carries the deque and the steal RNG.
+type worker struct {
+	id    int
+	deque deque.Deque[task]
+	rng   rng
+}
+
+// task is a forked child waiting in a deque.
+type task struct {
+	fn    func(*W)
+	frame *Frame // parent frame to notify on completion
+	bytes int32  // simulated activation-frame size
+	depth int32  // invocation-tree depth of the child
+	heavy *tbbTask
+}
+
+// tbbTask models TBB's heap-allocated task object with its reference count;
+// allocating and touching one per spawn is what makes the TBB baseline's
+// fork path expensive (Figure 3).
+type tbbTask struct {
+	refcount atomic.Int32
+	parent   *Frame
+	depth    int32
+	_        [4]int64 // payload padding to a realistic object size
+}
+
+// Runtime is one parallel execution context.
+type Runtime struct {
+	cfg  Config
+	as   *vm.AddressSpace
+	pool *stack.Pool
+
+	workers []*worker
+	done    atomic.Bool
+
+	goroutineWG sync.WaitGroup // live thief goroutines (for Wait)
+
+	// rootPanic holds a *TaskPanic that escaped the root task; Run
+	// re-raises it after an orderly shutdown.
+	rootPanic atomic.Pointer[TaskPanic]
+
+	stats runtimeCounters
+}
+
+// NewRuntime creates a runtime with the given configuration. The runtime
+// owns a fresh simulated address space and stack pool.
+func NewRuntime(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	as := vm.NewAddressSpace()
+	rt := &Runtime{
+		cfg:  cfg,
+		as:   as,
+		pool: stack.NewPool(as, cfg.StackPages, cfg.StackLimit),
+	}
+	rt.workers = make([]*worker, cfg.Workers)
+	for i := range rt.workers {
+		rt.workers[i] = &worker{id: i, rng: newRNG(cfg.Seed + uint64(i)*0x1234567)}
+	}
+	return rt
+}
+
+// Config returns the effective (defaulted) configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// AddressSpace exposes the simulated address space for inspection.
+func (rt *Runtime) AddressSpace() *vm.AddressSpace { return rt.as }
+
+// Run executes root to completion on the runtime and returns the collected
+// statistics. Run may be called repeatedly; counters accumulate across
+// calls on the same Runtime.
+func (rt *Runtime) Run(root func(*W)) Stats {
+	if rt.cfg.Strategy == StrategyGoroutine {
+		return rt.runGoroutine(root)
+	}
+	rt.done.Store(false)
+
+	// Slot 0 hosts the root; the other P-1 slots start as thieves.
+	for i := 1; i < len(rt.workers); i++ {
+		rt.goroutineWG.Add(1)
+		go rt.thiefLoop(rt.workers[i])
+	}
+
+	w := &W{rt: rt, slot: rt.workers[0], stack: rt.pool.Take()}
+	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
+	// The root has no parent frame; its completion ends the computation.
+	rt.done.Store(true)
+	rt.pool.Put(w.stack)
+
+	// Release any thief blocked in a bounded pool's Take, wait for every
+	// thief goroutine to unwind, then reopen the pool for the next Run.
+	rt.pool.Close()
+	rt.goroutineWG.Wait()
+	rt.pool.Reopen()
+	if tp := rt.rootPanic.Swap(nil); tp != nil {
+		panic(tp) // the root task panicked: surface it from Run
+	}
+	return rt.Stats()
+}
+
+// thiefLoop is the body of a worker-slot goroutine that starts with no
+// work: take a stack from the pool (blocking if the pool is bounded and
+// exhausted — the Cilk Plus stall), then steal until the computation ends
+// or the slot is handed to a resumed parent.
+func (rt *Runtime) thiefLoop(slot *worker) {
+	defer rt.goroutineWG.Done()
+	st := rt.pool.Take()
+	if st == nil {
+		return // pool closed: the computation is over
+	}
+	w := &W{rt: rt, slot: slot, stack: st}
+	for !rt.done.Load() {
+		t, ok := rt.randomSteal(w, nil, 0)
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		w.runStolen(t)
+		if w.released {
+			// The slot was transferred to a resumed parent; this
+			// goroutine's stack goes back to the pool and it exits —
+			// put_stack_into_pool (Listing 3 line 71).
+			rt.pool.Put(w.stack)
+			return
+		}
+	}
+	rt.pool.Put(w.stack)
+}
+
+// randomSteal attempts one round of randomized stealing over all slots.
+// If restrict is non-nil only tasks it accepts are taken (depth-restricted
+// and leapfrog disciplines). It returns false after a full unsuccessful
+// sweep so callers can decide to yield or re-check their join condition.
+func (rt *Runtime) randomSteal(w *W, restrict func(task) bool, selfID int) (task, bool) {
+	n := len(rt.workers)
+	start := int(w.slot.rng.next() % uint64(n))
+	for i := 0; i < n; i++ {
+		victim := rt.workers[(start+i)%n]
+		rt.stats.stealAttempts.Add(1)
+		var t task
+		var ok bool
+		if restrict == nil {
+			t, ok = victim.deque.Steal()
+		} else {
+			t, ok = victim.deque.StealIf(restrict)
+		}
+		if ok {
+			rt.stats.steals.Add(1)
+			rt.cfg.Tracer.Record(w.slot.id, trace.KindSteal, int64(victim.id))
+			return t, true
+		}
+	}
+	return task{}, false
+}
+
+// runGoroutine executes the computation with the Go-native baseline: no
+// slots, no deques; Fork is a `go` statement, every task gets its own
+// pooled stack, Join waits on a counter.
+func (rt *Runtime) runGoroutine(root func(*W)) Stats {
+	st := rt.pool.Take()
+	w := &W{rt: rt, stack: st}
+	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
+	rt.pool.Put(st)
+	if tp := rt.rootPanic.Swap(nil); tp != nil {
+		panic(tp)
+	}
+	return rt.Stats()
+}

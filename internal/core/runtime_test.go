@@ -1,0 +1,293 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// parfib is Listing 1's parallel Fibonacci on the core API: fork n-1, call
+// n-2, join. It stresses fork/join density more than any real workload.
+func parfib(w *W, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var fr Frame
+	w.Init(&fr)
+	var x, y int64
+	w.Fork(&fr, func(cw *W) { parfib(cw, n-1, &x) })
+	w.Call(func(cw *W) { parfib(cw, n-2, &y) })
+	w.Join(&fr)
+	*out = x + y
+}
+
+func fibSerial(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	return fibSerial(n-1) + fibSerial(n-2)
+}
+
+func runParfib(t *testing.T, cfg Config, n int) (int64, Stats) {
+	t.Helper()
+	rt := NewRuntime(cfg)
+	var result int64
+	stats := rt.Run(func(w *W) { parfib(w, n, &result) })
+	return result, stats
+}
+
+func TestParfibAllStrategies(t *testing.T) {
+	const n = 18
+	want := fibSerial(n)
+	for _, s := range Strategies() {
+		for _, workers := range []int{1, 2, 4, 8} {
+			if s == StrategyGoroutine && workers > 1 {
+				continue // the baseline ignores worker count
+			}
+			cfg := Config{Workers: workers, Strategy: s}
+			got, stats := runParfib(t, cfg, n)
+			if got != want {
+				t.Errorf("%s P=%d: parfib(%d) = %d, want %d", s, workers, n, got, want)
+			}
+			if stats.Forks == 0 {
+				t.Errorf("%s P=%d: no forks recorded", s, workers)
+			}
+		}
+	}
+}
+
+func TestSingleWorkerNeverSteals(t *testing.T) {
+	_, stats := runParfib(t, Config{Workers: 1, Strategy: StrategyFibril}, 15)
+	if stats.Steals != 0 {
+		t.Errorf("steals = %d with one worker, want 0", stats.Steals)
+	}
+	if stats.Suspends != 0 {
+		t.Errorf("suspends = %d with one worker, want 0", stats.Suspends)
+	}
+	if stats.StacksCreated != 1 {
+		t.Errorf("stacks = %d with one worker, want 1", stats.StacksCreated)
+	}
+}
+
+func TestSuspensionsBalanceResumes(t *testing.T) {
+	for _, s := range []Strategy{StrategyFibril, StrategyFibrilNoUnmap, StrategyFibrilMMap, StrategyCilkPlus} {
+		_, stats := runParfib(t, Config{Workers: 8, Strategy: s}, 20)
+		if stats.Suspends != stats.Resumes {
+			t.Errorf("%s: suspends=%d resumes=%d, want equal", s, stats.Suspends, stats.Resumes)
+		}
+	}
+}
+
+func TestFibrilUnmapsOnlyOnSuspension(t *testing.T) {
+	_, stats := runParfib(t, Config{Workers: 8, Strategy: StrategyFibril}, 20)
+	if stats.Unmaps != stats.Suspends {
+		t.Errorf("unmaps=%d suspends=%d, want equal in Fibril mode", stats.Unmaps, stats.Suspends)
+	}
+	if stats.Unmaps > stats.Steals {
+		t.Errorf("unmaps=%d exceeds steals=%d — paper: not every steal unmaps, never the reverse",
+			stats.Unmaps, stats.Steals)
+	}
+}
+
+func TestNoUnmapStrategiesDoNotUnmap(t *testing.T) {
+	for _, s := range []Strategy{StrategyFibrilNoUnmap, StrategyCilkPlus, StrategyTBB, StrategyLeapfrog} {
+		_, stats := runParfib(t, Config{Workers: 8, Strategy: s}, 20)
+		if stats.Unmaps != 0 {
+			t.Errorf("%s: unmaps = %d, want 0", s, stats.Unmaps)
+		}
+		if stats.VM.MadviseCalls != 0 {
+			t.Errorf("%s: madvise calls = %d, want 0", s, stats.VM.MadviseCalls)
+		}
+	}
+}
+
+func TestInlineStealingUsesOneStackPerWorker(t *testing.T) {
+	// TBB and leapfrogging never suspend, so they need at most P stacks.
+	for _, s := range []Strategy{StrategyTBB, StrategyLeapfrog} {
+		const workers = 8
+		_, stats := runParfib(t, Config{Workers: workers, Strategy: s, StackPages: 4096}, 20)
+		if stats.StacksCreated > workers {
+			t.Errorf("%s: created %d stacks for %d workers", s, stats.StacksCreated, workers)
+		}
+		if stats.Suspends != 0 {
+			t.Errorf("%s: suspends = %d, want 0", s, stats.Suspends)
+		}
+	}
+}
+
+func TestMMapModeTakesAddressSpaceLock(t *testing.T) {
+	_, mm := runParfib(t, Config{Workers: 8, Strategy: StrategyFibrilMMap}, 20)
+	if mm.Suspends > 0 && mm.VM.RemapCalls == 0 {
+		t.Error("mmap mode suspended but never remapped")
+	}
+	if mm.VM.DummyTouches != 0 {
+		t.Errorf("dummy touches = %d — a stack was used without remap", mm.VM.DummyTouches)
+	}
+	_, mv := runParfib(t, Config{Workers: 8, Strategy: StrategyFibril}, 20)
+	if mv.VM.RemapCalls != 0 {
+		t.Errorf("madvise mode recorded %d remaps, want 0 (remap is a no-op)", mv.VM.RemapCalls)
+	}
+}
+
+func TestFrameReuseAcrossPhases(t *testing.T) {
+	// One frame, several fork/join phases — the heat benchmark's pattern.
+	rt := NewRuntime(Config{Workers: 4, Strategy: StrategyFibril})
+	var total atomic.Int64
+	rt.Run(func(w *W) {
+		var fr Frame
+		w.Init(&fr)
+		for phase := 0; phase < 10; phase++ {
+			for i := 0; i < 8; i++ {
+				w.Fork(&fr, func(cw *W) { total.Add(1) })
+			}
+			w.Join(&fr)
+		}
+	})
+	if got := total.Load(); got != 80 {
+		t.Errorf("completed %d children, want 80", got)
+	}
+}
+
+func TestNestedFramesInOneTask(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4, Strategy: StrategyFibril})
+	var sum atomic.Int64
+	rt.Run(func(w *W) {
+		var outer, inner Frame
+		w.Init(&outer)
+		w.Fork(&outer, func(cw *W) { sum.Add(1) })
+		w.Init(&inner)
+		w.Fork(&inner, func(cw *W) { sum.Add(10) })
+		w.Join(&inner)
+		w.Fork(&outer, func(cw *W) { sum.Add(100) })
+		w.Join(&outer)
+	})
+	if got := sum.Load(); got != 111 {
+		t.Errorf("sum = %d, want 111", got)
+	}
+}
+
+func TestSerialParallelReciprocity(t *testing.T) {
+	// A "serial" helper (plain Call) invokes a callback that forks — the
+	// pattern Cilk forbids and Fibril exists to allow (§1).
+	rt := NewRuntime(Config{Workers: 4, Strategy: StrategyFibril})
+	serialVisitor := func(w *W, visit func(*W, int)) {
+		for i := 0; i < 5; i++ {
+			i := i
+			w.Call(func(cw *W) { visit(cw, i) })
+		}
+	}
+	var sum atomic.Int64
+	rt.Run(func(w *W) {
+		serialVisitor(w, func(cw *W, item int) {
+			var fr Frame
+			cw.Init(&fr)
+			cw.Fork(&fr, func(gw *W) { sum.Add(int64(item)) })
+			cw.Fork(&fr, func(gw *W) { sum.Add(int64(item * 10)) })
+			cw.Join(&fr)
+		})
+	})
+	if got := sum.Load(); got != 110 {
+		t.Errorf("sum = %d, want 110", got)
+	}
+}
+
+func TestJoinWithoutForkIsFree(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2, Strategy: StrategyFibril})
+	stats := rt.Run(func(w *W) {
+		var fr Frame
+		w.Init(&fr)
+		w.Join(&fr)
+	})
+	if stats.Suspends != 0 {
+		t.Errorf("suspends = %d for an empty join, want 0", stats.Suspends)
+	}
+}
+
+func TestAllocaAccountsPages(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 1, Strategy: StrategyFibril})
+	var resident int64
+	rt.Run(func(w *W) {
+		release := w.Alloca(10 * 4096)
+		resident = rt.AddressSpace().Snapshot().RSSPages
+		release()
+	})
+	if resident < 10 {
+		t.Errorf("resident = %d pages during Alloca(10 pages), want >= 10", resident)
+	}
+}
+
+func TestStatsAccumulateAcrossRuns(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2, Strategy: StrategyFibril})
+	var out int64
+	rt.Run(func(w *W) { parfib(w, 10, &out) })
+	first := rt.Stats().Forks
+	rt.Run(func(w *W) { parfib(w, 10, &out) })
+	if got := rt.Stats().Forks; got != 2*first {
+		t.Errorf("forks after two runs = %d, want %d", got, 2*first)
+	}
+}
+
+func TestRSSReturnsToZeroAfterDrain(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4, Strategy: StrategyFibril})
+	var out int64
+	rt.Run(func(w *W) { parfib(w, 16, &out) })
+	// All stacks are back in the pool with frames popped; resident pages
+	// are only what pooled stacks still cache.
+	s := rt.AddressSpace().Snapshot()
+	if s.RSSPages < 0 {
+		t.Errorf("negative RSS %d", s.RSSPages)
+	}
+	if rt.Stats().MaxStacksUsed > rt.Stats().StacksCreated {
+		t.Error("more stacks in use than created")
+	}
+}
+
+func TestDeepSpawnChainDoesNotOverflowThiefStacks(t *testing.T) {
+	// A right-leaning spawn chain: each task forks one child and joins.
+	// Under Fibril every suspension moves to a pool stack, so no stack
+	// should ever hold more than a few frames.
+	rt := NewRuntime(Config{Workers: 4, Strategy: StrategyFibril, FrameBytes: 1024})
+	var depthReached atomic.Int64
+	var spawn func(w *W, d int)
+	spawn = func(w *W, d int) {
+		if d == 0 {
+			return
+		}
+		var fr Frame
+		w.Init(&fr)
+		w.Fork(&fr, func(cw *W) { spawn(cw, d-1) })
+		w.Join(&fr)
+		depthReached.Add(1)
+	}
+	rt.Run(func(w *W) { spawn(w, 500) })
+	if got := depthReached.Load(); got != 500 {
+		t.Errorf("chain completed %d levels, want 500", got)
+	}
+}
+
+func TestWorkerCountDefaults(t *testing.T) {
+	rt := NewRuntime(Config{})
+	if rt.Config().Workers <= 0 {
+		t.Error("defaulted worker count not positive")
+	}
+	if rt.Config().FrameBytes != 192 {
+		t.Errorf("default frame bytes = %d, want 192", rt.Config().FrameBytes)
+	}
+	if rt.Config().Strategy != StrategyFibril {
+		t.Errorf("default strategy = %v, want fibril", rt.Config().Strategy)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Strategies() {
+		name := s.String()
+		if name == "" || seen[name] {
+			t.Errorf("strategy %d has bad/duplicate name %q", int(s), name)
+		}
+		seen[name] = true
+	}
+	if got := Strategy(99).String(); got != "Strategy(99)" {
+		t.Errorf("unknown strategy string = %q", got)
+	}
+}

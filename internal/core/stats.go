@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"fibril/internal/vm"
+)
+
+// runtimeCounters are the live atomic counters of a Runtime.
+type runtimeCounters struct {
+	forks            atomic.Int64
+	calls            atomic.Int64
+	steals           atomic.Int64
+	stealAttempts    atomic.Int64
+	restrictedSteals atomic.Int64
+	suspends         atomic.Int64
+	resumes          atomic.Int64
+	unmaps           atomic.Int64
+	unmappedPages    atomic.Int64
+	spawnOverhead    atomic.Int64
+}
+
+// Stats is a snapshot of a Runtime's scheduler and memory counters — the
+// raw material of the paper's Tables 2–4.
+type Stats struct {
+	Strategy Strategy
+	Workers  int
+
+	Forks            int64 // fibril_fork executions
+	Calls            int64 // synchronous Call executions
+	Steals           int64 // successful steals (Table 2 "steals")
+	StealAttempts    int64 // steal probes, successful or not
+	RestrictedSteals int64 // inline steals by TBB/leapfrog joins
+	Suspends         int64 // frame suspensions
+	Resumes          int64 // frame resumptions
+	Unmaps           int64 // unmap operations (Table 2 "unmaps")
+	UnmappedPages    int64 // physical pages returned by those unmaps
+
+	StacksCreated int   // stacks ever mapped (Table 4 "# of stacks")
+	MaxStacksUsed int   // stacks simultaneously checked out
+	PoolStalls    int64 // thieves that waited on a bounded pool (Cilk Plus)
+
+	VM vm.Stats // page faults, RSS, mmap/madvise counters (Tables 2 and 4)
+}
+
+// Stats snapshots the runtime's counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Strategy:         rt.cfg.Strategy,
+		Workers:          rt.cfg.Workers,
+		Forks:            rt.stats.forks.Load(),
+		Calls:            rt.stats.calls.Load(),
+		Steals:           rt.stats.steals.Load(),
+		StealAttempts:    rt.stats.stealAttempts.Load(),
+		RestrictedSteals: rt.stats.restrictedSteals.Load(),
+		Suspends:         rt.stats.suspends.Load(),
+		Resumes:          rt.stats.resumes.Load(),
+		Unmaps:           rt.stats.unmaps.Load(),
+		UnmappedPages:    rt.stats.unmappedPages.Load(),
+		StacksCreated:    rt.pool.Created(),
+		MaxStacksUsed:    rt.pool.MaxInUse(),
+		PoolStalls:       rt.pool.Stalls(),
+		VM:               rt.as.Snapshot(),
+	}
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"%s P=%d forks=%d steals=%d suspends=%d unmaps=%d stacks=%d faults=%d maxRSS=%dMB",
+		s.Strategy, s.Workers, s.Forks, s.Steals, s.Suspends, s.Unmaps,
+		s.StacksCreated, s.VM.PageFaults, s.VM.MaxRSSPages*vm.PageSize/(1<<20))
+}

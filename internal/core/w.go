@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"fibril/internal/stack"
+	"fibril/internal/trace"
+)
+
+// W is a worker context: the handle through which application code forks,
+// calls, and joins. One W belongs to one goroutine for that goroutine's
+// lifetime; the worker *slot* behind it migrates across suspensions, which
+// is why tasks receive a *W rather than a worker id.
+type W struct {
+	rt    *Runtime
+	slot  *worker      // current worker slot; nil in the goroutine baseline
+	stack *stack.Stack // this goroutine's simulated stack
+
+	depth    int32  // current invocation depth
+	frame    *Frame // frame of the task currently executing (nil at root)
+	released bool   // slot handed to a resumed parent; owner must retire
+
+	scratch [8]uint64 // Cilk Plus spawn-prologue simulation target
+}
+
+// Runtime returns the runtime this context executes on.
+func (w *W) Runtime() *Runtime { return w.rt }
+
+// Depth returns the current invocation depth.
+func (w *W) Depth() int { return int(w.depth) }
+
+// StackID identifies the simulated stack the goroutine runs on.
+func (w *W) StackID() int { return w.stack.ID() }
+
+// Fork logically starts fn as a child task of frame f, running in parallel
+// with the caller (fibril_fork). The child is pushed on the worker's deque
+// where thieves can steal it; unstolen children execute during Join in the
+// order work-first execution would have run them. The child's simulated
+// activation frame uses the configured default size; use ForkSized to
+// model a specific frame size.
+func (w *W) Fork(f *Frame, fn func(*W)) {
+	w.ForkSized(f, w.rt.cfg.FrameBytes, fn)
+}
+
+// ForkSized is Fork with an explicit simulated activation-frame size in
+// bytes for the child.
+func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
+	f.count.Add(1)
+	w.rt.stats.forks.Add(1)
+	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindFork, int64(w.depth))
+	t := task{fn: fn, frame: f, bytes: int32(bytes), depth: w.depth + 1}
+
+	switch w.rt.cfg.Strategy {
+	case StrategyCilkPlus:
+		// Cilk Plus's spawn prologue maintains a full __cilkrts_stack_frame
+		// (flags, parent links, pedigree) beyond what Fibril's three saved
+		// registers need. Model it as extra stores the compiler cannot
+		// remove plus one extra synchronizing operation.
+		for i := range w.scratch {
+			w.scratch[i] = uint64(bytes) + uint64(i)
+		}
+		w.rt.stats.spawnOverhead.Add(1)
+	case StrategyTBB:
+		// TBB allocates a task object per spawn and manipulates its
+		// reference count through the scheduler — the heaviest fork path
+		// in the comparison (Figure 3).
+		h := &tbbTask{parent: f, depth: t.depth}
+		h.refcount.Store(1)
+		h.refcount.Add(1)
+		t.heavy = h
+		w.rt.stats.spawnOverhead.Add(1)
+	case StrategyGoroutine:
+		// Go-native baseline: a goroutine per task with its own pooled
+		// stack; no deques, nothing to steal.
+		go func() {
+			st := w.rt.pool.Take()
+			child := &W{rt: w.rt, stack: st}
+			child.exec(t)
+			w.rt.pool.Put(st)
+			child.childDone(f)
+		}()
+		return
+	}
+	w.slot.deque.Push(t)
+}
+
+// Call runs fn synchronously as a plain function call with a simulated
+// activation frame of the configured default size — the serial-parallel
+// reciprocity path: any code, including "serial" callbacks, may call into
+// or out of parallel code freely (§1, §4.1).
+func (w *W) Call(fn func(*W)) {
+	w.CallSized(w.rt.cfg.FrameBytes, fn)
+}
+
+// CallSized is Call with an explicit frame size in bytes. Panics propagate
+// to the caller, as in a plain function call, with the simulated frame
+// popped on the way out.
+func (w *W) CallSized(bytes int, fn func(*W)) {
+	w.rt.stats.calls.Add(1)
+	base, err := w.stack.Push(bytes)
+	if err != nil {
+		panic(fmt.Sprintf("core: stack overflow in Call: %v", err))
+	}
+	w.depth++
+	defer func() {
+		w.depth--
+		w.stack.Pop(base)
+	}()
+	fn(w)
+}
+
+// Alloca grows the current simulated frame by n bytes (touching any new
+// pages) and returns a release function, modelling variable-size frames.
+func (w *W) Alloca(n int) (release func()) {
+	base, err := w.stack.Push(n)
+	if err != nil {
+		panic(fmt.Sprintf("core: stack overflow in Alloca: %v", err))
+	}
+	return func() { w.stack.Pop(base) }
+}
+
+// Join waits until every child forked on f has completed (fibril_join).
+// If any child panicked, Join re-raises the first such panic as a
+// *TaskPanic — the C-elision point where the panic would have surfaced.
+// See the package comment for the per-strategy blocked-join behaviour.
+func (w *W) Join(f *Frame) {
+	if f.count.Load() != 0 {
+		switch w.rt.cfg.Strategy {
+		case StrategyTBB:
+			w.joinInlineStealing(f, func(t task) bool { return t.depth > f.depth })
+		case StrategyLeapfrog:
+			w.joinInlineStealing(f, func(t task) bool { return t.frame.isDescendantOf(f) })
+		case StrategyGoroutine:
+			w.joinBlocking(f)
+		default:
+			w.joinSuspending(f)
+		}
+	}
+	if tp := f.takePanic(); tp != nil {
+		panic(tp)
+	}
+}
+
+// joinSuspending is the Fibril / Cilk Plus join: drain the local deque,
+// then suspend.
+func (w *W) joinSuspending(f *Frame) {
+	for {
+		if f.count.Load() == 0 {
+			return
+		}
+		if t, ok := w.slot.deque.Pop(); ok {
+			w.runInline(t)
+			continue
+		}
+		// All remaining children were stolen; park until the last thief
+		// finishes and hands us a slot. suspend reports false when the
+		// children finished in the race window, in which case the count
+		// is already zero.
+		if w.suspend(f) {
+			return
+		}
+	}
+}
+
+// joinInlineStealing is the TBB / leapfrog join: never park, steal eligible
+// deeper work and run it inline on our own stack. This keeps the worker on
+// one stack (no suspension, no extra stacks) at the cost of the time bound
+// (§3, Sukha's lower bound).
+func (w *W) joinInlineStealing(f *Frame, eligible func(task) bool) {
+	for f.count.Load() != 0 {
+		if t, ok := w.slot.deque.Pop(); ok {
+			w.runInline(t)
+			continue
+		}
+		if t, ok := w.rt.randomSteal(w, eligible, w.slot.id); ok {
+			w.rt.stats.restrictedSteals.Add(1)
+			w.runInline(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// joinBlocking is the goroutine baseline's join: park until count drains.
+func (w *W) joinBlocking(f *Frame) {
+	for f.count.Load() != 0 {
+		if w.suspend(f) {
+			return
+		}
+	}
+}
+
+// exec pushes the task's simulated frame, runs its body with depth/frame
+// context switched, and pops the frame. A panic escaping the task body is
+// captured on the parent frame (re-raised at its Join); for the root task
+// (no parent frame) it is re-raised by Run after shutdown. Bookkeeping is
+// restored either way, so the worker survives.
+func (w *W) exec(t task) {
+	base, err := w.stack.Push(int(t.bytes))
+	if err != nil {
+		panic(fmt.Sprintf("core: stack overflow executing task: %v", err))
+	}
+	prevDepth, prevFrame := w.depth, w.frame
+	w.depth, w.frame = t.depth, t.frame
+	defer func() {
+		w.depth, w.frame = prevDepth, prevFrame
+		w.stack.Pop(base)
+		if v := recover(); v != nil {
+			tp := capture(v)
+			if t.frame != nil {
+				t.frame.recordPanic(tp)
+			} else {
+				w.rt.rootPanic.CompareAndSwap(nil, tp)
+			}
+		}
+	}()
+	t.fn(w)
+}
+
+// runTask executes a root task (no parent frame to notify).
+func (w *W) runTask(t task) { w.exec(t) }
+
+// runInline executes a task popped (or inline-stolen) during a Join, on
+// top of the worker's current stack. Its completion can never resume a
+// suspended frame: local tasks' parent frames live on this goroutine's own
+// active call chain, and the inline-stealing strategies never suspend.
+func (w *W) runInline(t task) {
+	w.exec(t)
+	if w.childDone(t.frame) {
+		panic("core: inline task completion triggered a slot handoff")
+	}
+}
+
+// runStolen executes a task stolen by a base-level thief: link the thief's
+// stack into the cactus (the stolen child's frames grow on a stack
+// branching from the parent's), execute, and notify the parent. A handoff
+// here marks the slot released so the thief loop retires.
+func (w *W) runStolen(t task) {
+	if ps := t.frame.stack; ps != nil && ps != w.stack {
+		// The branch depth is the parent stack's watermark when the frame
+		// was initialized — captured then because the victim may still be
+		// pushing and popping on its stack right now.
+		ps.BranchAt(w.stack, t.frame.initMark)
+	}
+	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindTaskStart, int64(t.depth))
+	w.exec(t)
+	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindTaskEnd, int64(t.depth))
+	if w.childDone(t.frame) {
+		w.released = true
+	}
+}
+
+// slotID returns the current worker slot id, -1 when slotless (the
+// goroutine baseline).
+func (w *W) slotID() int {
+	if w.slot == nil {
+		return -1
+	}
+	return w.slot.id
+}

@@ -1,0 +1,127 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ChaseLev is the Chase–Lev work-stealing deque ("Dynamic Circular
+// Work-Stealing Deque", SPAA 2005), the other classic alternative to the
+// Cilk THE protocol this runtime defaults to. Thieves are entirely
+// lock-free (CAS on top); the owner synchronizes with thieves only when
+// the deque may be down to its last element. Provided for comparison and
+// as a drop-in alternative; the THE Deque matches the paper's runtime.
+//
+// Push and Pop are owner-only; Steal may be called from any goroutine.
+type ChaseLev[T any] struct {
+	top    atomic.Int64 // next index to steal; only increases
+	bottom atomic.Int64 // next index to push; owner-managed
+
+	buf atomic.Pointer[clRing[T]]
+
+	// grow serializes ring replacement against concurrent thieves reading
+	// the old ring: the classic algorithm leaks or hazard-protects old
+	// rings; holding a lock only during growth and steal keeps the Go
+	// version simple while leaving the owner's fast paths lock-free.
+	grow sync.Mutex
+}
+
+// clRing is a power-of-two circular buffer.
+type clRing[T any] struct {
+	mask int64
+	elts []T
+}
+
+func newCLRing[T any](capacity int64) *clRing[T] {
+	return &clRing[T]{mask: capacity - 1, elts: make([]T, capacity)}
+}
+
+func (r *clRing[T]) get(i int64) T    { return r.elts[i&r.mask] }
+func (r *clRing[T]) put(i int64, v T) { r.elts[i&r.mask] = v }
+func (r *clRing[T]) size() int64      { return r.mask + 1 }
+
+// Push adds v at the bottom (owner only).
+func (d *ChaseLev[T]) Push(v T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	ring := d.buf.Load()
+	if ring == nil || b-t >= ring.size() {
+		d.growRing(t, b)
+		ring = d.buf.Load()
+	}
+	ring.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+func (d *ChaseLev[T]) growRing(t, b int64) {
+	d.grow.Lock()
+	defer d.grow.Unlock()
+	old := d.buf.Load()
+	var capacity int64 = initialCapacity
+	if old != nil {
+		capacity = old.size() * 2
+	}
+	next := newCLRing[T](capacity)
+	if old != nil {
+		for i := t; i < b; i++ {
+			next.put(i, old.get(i))
+		}
+	}
+	d.buf.Store(next)
+}
+
+// Pop removes from the bottom (owner only).
+func (d *ChaseLev[T]) Pop() (T, bool) {
+	var zero T
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore and fail.
+		d.bottom.Store(b + 1)
+		return zero, false
+	}
+	ring := d.buf.Load()
+	v := ring.get(b)
+	if t == b {
+		// Last element: race a thief for it with the same CAS they use.
+		if !d.top.CompareAndSwap(t, t+1) {
+			v = zero // thief won
+			d.bottom.Store(b + 1)
+			return zero, false
+		}
+		d.bottom.Store(b + 1)
+		return v, true
+	}
+	return v, true
+}
+
+// Steal removes from the top (any goroutine).
+func (d *ChaseLev[T]) Steal() (T, bool) {
+	var zero T
+	d.grow.Lock() // protects the ring pointer; see type comment
+	defer d.grow.Unlock()
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return zero, false
+	}
+	ring := d.buf.Load()
+	v := ring.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return zero, false // lost to the owner's last-element pop or another thief
+	}
+	return v, true
+}
+
+// Len reports a racy size snapshot.
+func (d *ChaseLev[T]) Len() int {
+	n := int(d.bottom.Load() - d.top.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Empty reports whether the deque appears empty.
+func (d *ChaseLev[T]) Empty() bool { return d.Len() == 0 }

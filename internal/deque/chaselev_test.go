@@ -1,0 +1,172 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+var _ dequeAPI[int] = (*ChaseLev[int])(nil)
+
+func TestChaseLevBasics(t *testing.T) {
+	d := &ChaseLev[int]{}
+	if _, ok := d.Pop(); ok {
+		t.Error("Pop on empty succeeded")
+	}
+	if _, ok := d.Steal(); ok {
+		t.Error("Steal on empty succeeded")
+	}
+	for i := 0; i < 10; i++ {
+		d.Push(i)
+	}
+	if v, _ := d.Steal(); v != 0 {
+		t.Errorf("first steal = %d, want 0 (FIFO end)", v)
+	}
+	if v, _ := d.Pop(); v != 9 {
+		t.Errorf("first pop = %d, want 9 (LIFO end)", v)
+	}
+	if d.Len() != 8 {
+		t.Errorf("Len = %d, want 8", d.Len())
+	}
+}
+
+func TestChaseLevGrowthPreservesOrder(t *testing.T) {
+	d := &ChaseLev[int]{}
+	const n = initialCapacity*4 + 9
+	for i := 0; i < n; i++ {
+		d.Push(i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("Steal = %d,%v, want %d", v, ok, i)
+		}
+	}
+}
+
+func TestChaseLevDifferentialSequential(t *testing.T) {
+	a := &ChaseLev[int]{}
+	b := &Locked[int]{}
+	next := 0
+	// A fixed pseudo-random op tape, same as the quick test's spirit but
+	// deterministic so failures reproduce.
+	state := uint64(42)
+	for step := 0; step < 20000; step++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		switch state % 3 {
+		case 0:
+			a.Push(next)
+			b.Push(next)
+			next++
+		case 1:
+			av, aok := a.Pop()
+			bv, bok := b.Pop()
+			if av != bv || aok != bok {
+				t.Fatalf("step %d: Pop %d,%v vs %d,%v", step, av, aok, bv, bok)
+			}
+		case 2:
+			av, aok := a.Steal()
+			bv, bok := b.Steal()
+			if av != bv || aok != bok {
+				t.Fatalf("step %d: Steal %d,%v vs %d,%v", step, av, aok, bv, bok)
+			}
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("step %d: Len %d vs %d", step, a.Len(), b.Len())
+		}
+	}
+}
+
+// TestChaseLevConcurrentNoLossNoDup mirrors the THE deque's safety test:
+// one owner against racing thieves, exactly-once consumption.
+func TestChaseLevConcurrentNoLossNoDup(t *testing.T) {
+	const (
+		thieves = 4
+		total   = 20000
+	)
+	d := &ChaseLev[int]{}
+	seen := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+	record := func(v int) {
+		if seen[v].Add(1) != 1 {
+			t.Errorf("value %d consumed more than once", v)
+		}
+		consumed.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					record(v)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	for v := 0; v < total; {
+		burst := 1 + v%5
+		for i := 0; i < burst && v < total; i++ {
+			d.Push(v)
+			v++
+		}
+		if v%3 == 0 {
+			if got, ok := d.Pop(); ok {
+				record(got)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	if got := consumed.Load(); got != total {
+		t.Errorf("consumed %d, want %d", got, total)
+	}
+}
+
+func BenchmarkChaseLevPushPop(b *testing.B) {
+	d := &ChaseLev[int]{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Push(i)
+		d.Pop()
+	}
+}
+
+func BenchmarkChaseLevPushSteal(b *testing.B) {
+	d := &ChaseLev[int]{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Push(i)
+		d.Steal()
+	}
+}

@@ -1,0 +1,196 @@
+// Package deque implements the work-stealing double-ended queue used by the
+// Fibril scheduler (SPAA 2016, §2 and §4.3).
+//
+// Deque is the THE protocol of Cilk-5 (Frigo, Leiserson, Randall, PLDI '98),
+// which the paper adopts unchanged: the owning worker pushes and pops at the
+// bottom without locking on the fast path; thieves steal from the top while
+// holding a per-deque lock (Dijkstra-style mutual exclusion between one
+// owner and the lock-holding thief). Locked is a mutex-based reference
+// implementation with identical semantics, used for differential testing
+// and as a fallback.
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// initialCapacity is the starting ring size; the deque grows geometrically.
+const initialCapacity = 64
+
+// Deque is a THE-protocol work-stealing deque. The zero value is ready to
+// use. Push and Pop may be called only by the owning worker; Steal may be
+// called by any worker.
+type Deque[T any] struct {
+	head atomic.Int64 // next index to steal (top); only increases
+	tail atomic.Int64 // next index to push (bottom); owner-managed
+	lock sync.Mutex   // serializes thieves, and conflict resolution
+	buf  []T          // ring buffer, len is a power of two; owner swaps under lock
+}
+
+// Push adds t at the bottom of the deque. Owner-only; never blocks on
+// thieves except while growing the ring.
+func (d *Deque[T]) Push(t T) {
+	tail := d.tail.Load()
+	head := d.head.Load()
+	if d.buf == nil || int(tail-head) >= len(d.buf) {
+		d.grow(head, tail)
+	}
+	d.buf[tail&int64(len(d.buf)-1)] = t
+	d.tail.Store(tail + 1)
+}
+
+// grow replaces the ring with a larger one. It holds the lock so no thief
+// reads the buffer mid-swap; the owner is the only other reader.
+func (d *Deque[T]) grow(head, tail int64) {
+	d.lock.Lock()
+	defer d.lock.Unlock()
+	head = d.head.Load() // may have advanced before we got the lock
+	n := initialCapacity
+	for int64(n) < (tail-head)*2 {
+		n *= 2
+	}
+	nbuf := make([]T, n)
+	for i := head; i < tail; i++ {
+		nbuf[i&int64(n-1)] = d.buf[i&int64(len(d.buf)-1)]
+	}
+	d.buf = nbuf
+}
+
+// Pop removes and returns the bottom entry. Owner-only. The fast path is
+// lock-free; the lock is taken only when the deque might be down to its
+// last entry and a thief may be racing for it (the THE protocol).
+func (d *Deque[T]) Pop() (T, bool) {
+	var zero T
+	tail := d.tail.Load() - 1
+	d.tail.Store(tail)
+	head := d.head.Load()
+	if head > tail {
+		// Possible conflict with a thief: restore and retry under the lock.
+		d.tail.Store(tail + 1)
+		d.lock.Lock()
+		head = d.head.Load()
+		if head > tail {
+			d.lock.Unlock()
+			return zero, false // deque empty; thief won
+		}
+		d.tail.Store(tail)
+		d.lock.Unlock()
+	}
+	v := d.buf[tail&int64(len(d.buf)-1)]
+	d.buf[tail&int64(len(d.buf)-1)] = zero // release for GC
+	return v, true
+}
+
+// Steal removes and returns the top entry. Any worker may call it; thieves
+// serialize on the deque lock, as in Cilk.
+func (d *Deque[T]) Steal() (T, bool) {
+	var zero T
+	d.lock.Lock()
+	head := d.head.Load()
+	d.head.Store(head + 1)
+	tail := d.tail.Load()
+	if head+1 > tail {
+		d.head.Store(head) // lost to the owner's pop
+		d.lock.Unlock()
+		return zero, false
+	}
+	v := d.buf[head&int64(len(d.buf)-1)]
+	d.buf[head&int64(len(d.buf)-1)] = zero
+	d.lock.Unlock()
+	return v, true
+}
+
+// StealIf steals the top entry only if pred accepts it, leaving the deque
+// untouched otherwise. Restricted stealing disciplines — TBB's
+// depth-restricted stealing and leapfrogging (§3) — are expressed this way:
+// the thief inspects the candidate under the deque lock and declines
+// ineligible work.
+func (d *Deque[T]) StealIf(pred func(T) bool) (T, bool) {
+	var zero T
+	d.lock.Lock()
+	// Claim first, inspect second: after the claim succeeds, the Dekker
+	// argument of the THE protocol guarantees the owner cannot pop this
+	// entry (a conflicting Pop is forced into the locked path, which we
+	// hold), so reading it and — on pred rejection — unclaiming is safe.
+	head := d.head.Load()
+	d.head.Store(head + 1)
+	tail := d.tail.Load()
+	if head+1 > tail {
+		d.head.Store(head)
+		d.lock.Unlock()
+		return zero, false
+	}
+	v := d.buf[head&int64(len(d.buf)-1)]
+	if !pred(v) {
+		d.head.Store(head)
+		d.lock.Unlock()
+		return zero, false
+	}
+	d.buf[head&int64(len(d.buf)-1)] = zero
+	d.lock.Unlock()
+	return v, true
+}
+
+// Len reports the current number of entries. It is a racy snapshot intended
+// for stats and victim selection heuristics only.
+func (d *Deque[T]) Len() int {
+	n := int(d.tail.Load() - d.head.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Empty reports whether the deque appears empty (racy snapshot).
+func (d *Deque[T]) Empty() bool { return d.Len() == 0 }
+
+// Locked is a straightforward mutex-protected deque with the same owner /
+// thief API, used as the semantic reference for differential tests.
+type Locked[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// Push adds t at the bottom.
+func (d *Locked[T]) Push(t T) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+// Pop removes from the bottom (LIFO end).
+func (d *Locked[T]) Pop() (T, bool) {
+	var zero T
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return zero, false
+	}
+	v := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return v, true
+}
+
+// Steal removes from the top (FIFO end).
+func (d *Locked[T]) Steal() (T, bool) {
+	var zero T
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return zero, false
+	}
+	v := d.items[0]
+	d.items = d.items[1:]
+	return v, true
+}
+
+// Len reports the number of entries.
+func (d *Locked[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+// Empty reports whether the deque is empty.
+func (d *Locked[T]) Empty() bool { return d.Len() == 0 }

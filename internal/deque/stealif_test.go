@@ -1,0 +1,114 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStealIfAcceptReject(t *testing.T) {
+	d := &Deque[int]{}
+	for i := 0; i < 5; i++ {
+		d.Push(i)
+	}
+	if _, ok := d.StealIf(func(v int) bool { return v > 100 }); ok {
+		t.Fatal("StealIf stole a rejected entry")
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d after rejection, want 5", d.Len())
+	}
+	v, ok := d.StealIf(func(v int) bool { return v == 0 })
+	if !ok || v != 0 {
+		t.Fatalf("StealIf = %d,%v, want 0,true", v, ok)
+	}
+	// The next top is 1; a predicate matching only 2 must not skip over it.
+	if _, ok := d.StealIf(func(v int) bool { return v == 2 }); ok {
+		t.Fatal("StealIf skipped past the top entry")
+	}
+}
+
+func TestStealIfEmpty(t *testing.T) {
+	d := &Deque[int]{}
+	if _, ok := d.StealIf(func(int) bool { return true }); ok {
+		t.Fatal("StealIf on empty deque succeeded")
+	}
+	d.Push(1)
+	d.Pop()
+	if _, ok := d.StealIf(func(int) bool { return true }); ok {
+		t.Fatal("StealIf on drained deque succeeded")
+	}
+}
+
+// TestStealIfConcurrentNoLossNoDup races an owner that pops and re-pushes
+// against predicate thieves, checking exactly-once consumption — the
+// scenario that breaks a read-before-claim implementation.
+func TestStealIfConcurrentNoLossNoDup(t *testing.T) {
+	const total = 20000
+	d := &Deque[int]{}
+	seen := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+	record := func(v int) {
+		if seen[v].Add(1) != 1 {
+			t.Errorf("value %d consumed twice", v)
+		}
+		consumed.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(parity int) {
+			defer wg.Done()
+			pred := func(v int) bool { return v%2 == parity }
+			for {
+				if v, ok := d.StealIf(pred); ok {
+					record(v)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(v)
+					}
+				default:
+				}
+			}
+		}(i % 2)
+	}
+
+	for v := 0; v < total; {
+		for i := 0; i < 1+v%5 && v < total; i++ {
+			d.Push(v)
+			v++
+		}
+		if v%2 == 0 {
+			if got, ok := d.Pop(); ok {
+				record(got)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	if got := consumed.Load(); got != total {
+		t.Errorf("consumed %d, want %d", got, total)
+	}
+}

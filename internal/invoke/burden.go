@@ -1,0 +1,150 @@
+package invoke
+
+import "fmt"
+
+// Burdened analysis, in the spirit of Cilkview (He, Leiserson, Leiserson):
+// raw work/span metrics predict idealized speedup, but every fork, task
+// start, and potential steal adds scheduling burden. Charging a burden to
+// each fork edge on both the work and the span yields *burdened*
+// parallelism, whose speedup predictions bracket what a real work-stealing
+// runtime can deliver — the analytical counterpart of this repository's
+// discrete-event simulator, useful for sanity-checking it and for granting
+// quick what-if answers (e.g. "would a bigger grain help?") without a
+// simulation.
+
+// Burden parameterizes the per-edge scheduling costs, in the same ≈ns
+// units as Task work. Zero fields take defaults matching the simulator's
+// calibrated cost model.
+type Burden struct {
+	// Fork is charged per fork on the work (bookkeeping always happens).
+	Fork int64
+	// Task is charged per task start on the work (dequeue + frame setup).
+	Task int64
+	// Steal is charged per fork on the *span*: on the critical path, a
+	// fork's continuation or child migrates in the worst case, costing a
+	// steal handshake plus a task start.
+	Steal int64
+}
+
+func (b Burden) withDefaults() Burden {
+	if b.Fork == 0 {
+		b.Fork = 8
+	}
+	if b.Task == 0 {
+		b.Task = 8
+	}
+	if b.Steal == 0 {
+		b.Steal = 128
+	}
+	return b
+}
+
+// BurdenedMetrics extends Metrics with burden-adjusted quantities.
+type BurdenedMetrics struct {
+	Metrics
+	// BurdenedWork is T1 plus per-fork and per-task bookkeeping.
+	BurdenedWork int64
+	// BurdenedSpan is T∞ with every fork edge on the critical path charged
+	// a steal burden.
+	BurdenedSpan int64
+}
+
+// BurdenedParallelism is the burdened analogue of T1/T∞.
+func (m BurdenedMetrics) BurdenedParallelism() float64 {
+	if m.BurdenedSpan == 0 {
+		return 0
+	}
+	return float64(m.BurdenedWork) / float64(m.BurdenedSpan)
+}
+
+// PredictSpeedup estimates the speedup of an ideal greedy work-stealing
+// execution on p workers, relative to the raw work T1: the burdened
+// work-span bound Tp ≈ T1'/p + T∞' gives speedup T1/(T1'/p + T∞').
+func (m BurdenedMetrics) PredictSpeedup(p int) float64 {
+	tp := float64(m.BurdenedWork)/float64(p) + float64(m.BurdenedSpan)
+	if tp == 0 {
+		return 0
+	}
+	return float64(m.Work) / tp
+}
+
+// String summarizes the burdened metrics.
+func (m BurdenedMetrics) String() string {
+	return fmt.Sprintf("%v burdenedT1=%d burdenedT∞=%d burdenedPar=%.1f",
+		m.Metrics, m.BurdenedWork, m.BurdenedSpan, m.BurdenedParallelism())
+}
+
+// AnalyzeBurdened computes burdened metrics for the tree rooted at t,
+// memoizing keyed subtrees like Analyze.
+func AnalyzeBurdened(t Task, b Burden) BurdenedMetrics {
+	b = b.withDefaults()
+	return analyzeBurdened(t, b, map[uint64]BurdenedMetrics{})
+}
+
+func analyzeBurdened(t Task, b Burden, memo map[uint64]BurdenedMetrics) BurdenedMetrics {
+	if t.Key != 0 {
+		if m, ok := memo[t.Key]; ok {
+			return m
+		}
+	}
+	m := BurdenedMetrics{Metrics: Metrics{Tasks: 1}}
+	m.BurdenedWork = b.Task
+	var (
+		spine, bSpine     int64
+		openMax, bOpenMax int64
+		maxChild          int64
+		depthF, depthC    int
+	)
+	for _, s := range t.Segs {
+		m.Work += s.Work
+		m.BurdenedWork += s.Work
+		spine += s.Work
+		bSpine += s.Work
+		if s.Call != nil {
+			cm := analyzeBurdened(s.Call(), b, memo)
+			m.Work += cm.Work
+			m.BurdenedWork += cm.BurdenedWork
+			spine += cm.Span
+			bSpine += cm.BurdenedSpan
+			m.Tasks += cm.Tasks
+			m.Forks += cm.Forks
+			maxChild = max64(maxChild, cm.MaxStackBytes)
+			depthF = maxInt(depthF, cm.FibrilDepth)
+			depthC = maxInt(depthC, cm.CallDepth)
+		}
+		if s.Fork != nil {
+			cm := analyzeBurdened(s.Fork(), b, memo)
+			m.Work += cm.Work
+			m.BurdenedWork += cm.BurdenedWork + b.Fork
+			openMax = max64(openMax, spine+cm.Span)
+			// On the burdened span, the fork edge pays a steal: either the
+			// child or the continuation migrates in the worst case.
+			bOpenMax = max64(bOpenMax, bSpine+cm.BurdenedSpan+b.Steal)
+			m.Tasks += cm.Tasks
+			m.Forks += cm.Forks + 1
+			maxChild = max64(maxChild, cm.MaxStackBytes)
+			depthF = maxInt(depthF, cm.FibrilDepth)
+			depthC = maxInt(depthC, cm.CallDepth)
+		}
+		if s.Join {
+			spine = max64(spine, openMax)
+			bSpine = max64(bSpine, bOpenMax)
+			openMax, bOpenMax = 0, 0
+		}
+	}
+	spine = max64(spine, openMax)
+	bSpine = max64(bSpine, bOpenMax)
+	m.Span = spine
+	m.BurdenedSpan = bSpine
+	m.MaxStackBytes = int64(t.Frame) + maxChild
+	self := 0
+	if t.IsFibril() {
+		self = 1
+	}
+	m.FibrilDepth = self + depthF
+	m.CallDepth = 1 + depthC
+	if t.Key != 0 {
+		memo[t.Key] = m
+	}
+	return m
+}

@@ -1,0 +1,98 @@
+package invoke
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBurdenedReducesToRawWithZeroBurden(t *testing.T) {
+	// Burden{−1?} — zero values take defaults, so build an explicit
+	// near-zero burden by using 1s and checking dominance instead: the
+	// burdened quantities always dominate the raw ones.
+	task := fibTree(14, 64)
+	raw := Analyze(fibTree(14, 64))
+	bm := AnalyzeBurdened(task, Burden{Fork: 1, Task: 1, Steal: 1})
+	if bm.Metrics != raw {
+		t.Errorf("embedded raw metrics differ: %+v vs %+v", bm.Metrics, raw)
+	}
+	if bm.BurdenedWork < raw.Work || bm.BurdenedSpan < raw.Span {
+		t.Errorf("burdened quantities below raw: %+v", bm)
+	}
+	// Exact accounting: work burden = forks·Fork + tasks·Task.
+	wantWork := raw.Work + raw.Forks*1 + raw.Tasks*1
+	if bm.BurdenedWork != wantWork {
+		t.Errorf("burdened work = %d, want %d", bm.BurdenedWork, wantWork)
+	}
+}
+
+func TestBurdenedSpanChargesStealsPerForkDepth(t *testing.T) {
+	// A chain of d forks has every fork on the critical path: burdened
+	// span grows by d·Steal (+ per-task start along the path).
+	var chain func(d int) Task
+	chain = func(d int) Task {
+		if d == 0 {
+			return Leaf(10, 32)
+		}
+		return Task{Frame: 32, Segs: []Seg{
+			{Work: 1, Fork: func() Task { return chain(d - 1) }},
+			{Join: true},
+		}}
+	}
+	b := Burden{Fork: 1, Task: 1, Steal: 100}
+	m5 := AnalyzeBurdened(chain(5), b)
+	m10 := AnalyzeBurdened(chain(10), b)
+	dSpan := m10.BurdenedSpan - m5.BurdenedSpan
+	// 5 extra fork edges at 100 each, plus 5 extra work+task units each ~2.
+	if dSpan < 500 || dSpan > 520 {
+		t.Errorf("span delta = %d, want ≈ 5·Steal", dSpan)
+	}
+}
+
+func TestPredictSpeedupShape(t *testing.T) {
+	bm := AnalyzeBurdened(fibTree(20, 64), Burden{})
+	s1 := bm.PredictSpeedup(1)
+	s8 := bm.PredictSpeedup(8)
+	s72 := bm.PredictSpeedup(72)
+	if s1 > 1.0 {
+		t.Errorf("P=1 prediction %.2f exceeds 1 (burden must cost something)", s1)
+	}
+	if !(s1 < s8 && s8 < s72) {
+		t.Errorf("prediction not monotone: %.2f %.2f %.2f", s1, s8, s72)
+	}
+	if s72 > 72 {
+		t.Errorf("P=72 prediction %.2f superlinear", s72)
+	}
+}
+
+func TestBurdenedMemoizationAtPaperScale(t *testing.T) {
+	bm := AnalyzeBurdened(fibTree(42, 96), Burden{})
+	if bm.FibrilDepth != 41 || bm.BurdenedWork <= bm.Work {
+		t.Errorf("paper-scale burdened analysis wrong: %v", bm)
+	}
+}
+
+// Property: burdened work ≥ raw work, burdened span ≥ raw span, and
+// speedup predictions never exceed P. (Burdened span may exceed burdened
+// work: the span charges worst-case steal latency per fork edge, which is
+// pessimism about placement, not work that every execution performs.)
+func TestQuickBurdenDominance(t *testing.T) {
+	prop := func(n uint8) bool {
+		depth := int(n%12) + 2
+		task := fibTree(depth, 48)
+		raw := Analyze(fibTree(depth, 48))
+		bm := AnalyzeBurdened(task, Burden{})
+		if bm.BurdenedWork < raw.Work || bm.BurdenedSpan < raw.Span {
+			return false
+		}
+		for _, p := range []int{1, 4, 16} {
+			s := bm.PredictSpeedup(p)
+			if s > float64(p)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

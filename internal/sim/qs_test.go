@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"fibril/internal/bench"
+	"fibril/internal/core"
+)
+
+// TestQSWFTBBCompletes pins the former livelock: quicksort under
+// work-first depth-restricted (TBB) stealing at P=24 must terminate.
+func TestQSWFTBBCompletes(t *testing.T) {
+	s := bench.Get("quicksort")
+	done := make(chan Result, 1)
+	go func() {
+		done <- Run(Config{Workers: 24, Strategy: core.StrategyTBB,
+			StackPages: 2048, WorkFirst: true}, s.Tree(s.Sim))
+	}()
+	select {
+	case r := <-done:
+		if r.Forks == 0 {
+			t.Error("no forks executed")
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("work-first TBB quicksort livelocked")
+	}
+}

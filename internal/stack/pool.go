@@ -1,0 +1,172 @@
+package stack
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fibril/internal/vm"
+)
+
+// Pool is the runtime's stack pool (Listing 3's take_stack_from_pool /
+// put_stack_into_pool). In Fibril mode the pool is unbounded: a thief that
+// needs a stack always gets one, preserving the time bound. With a positive
+// limit it models Intel Cilk Plus, which caps the number of stacks (2400 by
+// default) and makes thieves refrain from stealing — block here — until a
+// stack is returned, sacrificing the time bound for a space bound (§3).
+type Pool struct {
+	as    *vm.AddressSpace
+	pages int
+	limit int // 0 = unbounded
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	free    []*Stack
+	created int
+	closed  bool
+
+	inUse    int
+	maxInUse int
+
+	stalls atomic.Int64 // times a thief had to wait for a stack
+}
+
+// CilkPlusDefaultLimit is Cilk Plus's default cap on worker stacks.
+const CilkPlusDefaultLimit = 2400
+
+// NewPool creates a pool of stacks of the given page size. limit == 0 means
+// unbounded (Fibril); limit > 0 bounds the total number of stacks ever
+// created (Cilk Plus).
+func NewPool(as *vm.AddressSpace, pages, limit int) *Pool {
+	if pages <= 0 {
+		pages = DefaultStackPages
+	}
+	p := &Pool{as: as, pages: pages, limit: limit}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Take returns a stack, creating one if the free list is empty. With a
+// bounded pool it blocks — the thief "refrains from stealing" — until a
+// stack is available. Take returns nil once the pool has been closed, so
+// that blocked thieves can unwind at shutdown.
+func (p *Pool) Take() *Stack {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return nil
+		}
+		if n := len(p.free); n > 0 {
+			s := p.free[n-1]
+			p.free = p.free[:n-1]
+			p.takeLocked()
+			return s
+		}
+		if p.limit == 0 || p.created < p.limit {
+			p.created++
+			id := p.created
+			p.takeLocked()
+			p.mu.Unlock()
+			s, err := New(p.as, p.pages, id)
+			p.mu.Lock()
+			if err != nil {
+				// Address-space exhaustion is unrecoverable in the model.
+				panic("stack: pool cannot map a new stack: " + err.Error())
+			}
+			return s
+		}
+		p.stalls.Add(1)
+		p.cond.Wait()
+	}
+}
+
+// TryTake is Take without blocking; ok is false when a bounded pool is
+// exhausted.
+func (p *Pool) TryTake() (*Stack, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.takeLocked()
+		return s, true
+	}
+	if p.limit == 0 || p.created < p.limit {
+		p.created++
+		id := p.created
+		p.takeLocked()
+		p.mu.Unlock()
+		s, err := New(p.as, p.pages, id)
+		p.mu.Lock()
+		if err != nil {
+			panic("stack: pool cannot map a new stack: " + err.Error())
+		}
+		return s, true
+	}
+	return nil, false
+}
+
+func (p *Pool) takeLocked() {
+	p.inUse++
+	if p.inUse > p.maxInUse {
+		p.maxInUse = p.inUse
+	}
+}
+
+// Put returns a stack to the pool. The stack must be quiescent (its frames
+// all popped); its watermark is reset and its cactus linkage cleared.
+func (p *Pool) Put(s *Stack) {
+	s.SetWatermark(0)
+	s.ClearBranch()
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.inUse--
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Close wakes every blocked Take with a nil result. Reopen re-enables the
+// pool for the next run.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Reopen re-enables a closed pool.
+func (p *Pool) Reopen() {
+	p.mu.Lock()
+	p.closed = false
+	p.mu.Unlock()
+}
+
+// Created returns how many stacks the pool has ever mapped — the paper's
+// "# of stacks" column in Table 4.
+func (p *Pool) Created() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created
+}
+
+// MaxInUse returns the most stacks simultaneously checked out.
+func (p *Pool) MaxInUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.maxInUse
+}
+
+// Stalls returns how many times Take had to wait on a bounded pool.
+func (p *Pool) Stalls() int64 { return p.stalls.Load() }
+
+// Drain releases every pooled stack's mapping. Only for teardown; stacks
+// still checked out are the caller's responsibility.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	free := p.free
+	p.free = nil
+	p.mu.Unlock()
+	for _, s := range free {
+		s.Release()
+	}
+}

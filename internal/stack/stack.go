@@ -1,0 +1,192 @@
+// Package stack provides the page-granular linear stacks from which the
+// Fibril runtime builds its cactus stack (SPAA 2016, §2 and §4.2).
+//
+// A Stack is a linear stack carved out of a simulated address space
+// (internal/vm): frames are pushed and popped by moving a byte watermark,
+// pages are faulted in on first use, and — the heart of the paper's space
+// management — the pages above the live watermark of a *suspended* stack
+// can be returned to the OS with UnmapAbove (madvise) or MapDummyAbove
+// (serialized mmap), then reused when the stack is resumed.
+//
+// A cactus stack is a tree of these linear stacks: each Stack optionally
+// records the parent stack (and byte depth within it) it branched from when
+// a stolen frame was resumed on a fresh stack. CactusPath walks the branch
+// back to the root, which is how the paper's per-path space bounds
+// (Theorems 4.1 and 4.2) are measured.
+package stack
+
+import (
+	"fmt"
+
+	"fibril/internal/vm"
+)
+
+// DefaultStackPages is the default size of one linear stack, in simulated
+// pages. The paper uses 1 MB stacks with 4 KB pages = 256 pages.
+const DefaultStackPages = 256
+
+// Stack is one linear stack. It is owned by at most one worker at a time;
+// suspended stacks are not touched until resumed (the runtime enforces
+// this), so methods need no internal locking.
+type Stack struct {
+	region *vm.Region
+	top    int // current watermark: bytes in use
+	high   int // high-water bytes ever used (serial S1 measurement aid)
+
+	// Cactus linkage: the stack this one branched from, if any.
+	parent      *Stack
+	parentDepth int // byte watermark of parent at the branch point
+
+	id int // small unique id for diagnostics and stats
+}
+
+// New maps a fresh stack of n pages in the given address space.
+func New(as *vm.AddressSpace, pages, id int) (*Stack, error) {
+	if pages <= 0 {
+		pages = DefaultStackPages
+	}
+	r, err := as.MMap(pages)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{region: r, id: id}, nil
+}
+
+// ID returns the stack's identifier.
+func (s *Stack) ID() int { return s.id }
+
+// Bytes returns the current watermark in bytes.
+func (s *Stack) Bytes() int { return s.top }
+
+// Pages returns the watermark rounded up to whole pages — PAGE_ALIGN(rsp)
+// in the paper's Listing 3.
+func (s *Stack) Pages() int { return vm.PageAlign(s.top) }
+
+// HighWaterPages returns the most pages this stack ever had live at once.
+func (s *Stack) HighWaterPages() int { return vm.PageAlign(s.high) }
+
+// Capacity returns the stack's total size in pages.
+func (s *Stack) Capacity() int { return s.region.Len() }
+
+// CapacityBytes returns the stack's total size in bytes.
+func (s *Stack) CapacityBytes() int { return s.region.Len() * vm.PageSize }
+
+// ResidentPages returns how many of the stack's pages are physically
+// resident right now.
+func (s *Stack) ResidentPages() int { return s.region.ResidentPages() }
+
+// Faults returns the demand-paging faults this stack has taken, used by the
+// simulator to charge per-fault latency to the owning worker.
+func (s *Stack) Faults() int64 { return s.region.Faults() }
+
+// Push allocates a frame of the given byte size, touching (faulting in)
+// any new pages it spans, and returns the frame's base offset. It fails if
+// the stack would overflow, the analogue of running off a real 1 MB stack.
+func (s *Stack) Push(bytes int) (base int, err error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("stack: negative frame size %d", bytes)
+	}
+	newTop := s.top + bytes
+	if newTop > s.CapacityBytes() {
+		return 0, fmt.Errorf("stack %d: overflow: %d + %d > %d bytes",
+			s.id, s.top, bytes, s.CapacityBytes())
+	}
+	base = s.top
+	if bytes > 0 {
+		s.region.TouchRange(base/vm.PageSize, vm.PageAlign(newTop))
+	}
+	s.top = newTop
+	if newTop > s.high {
+		s.high = newTop
+	}
+	return base, nil
+}
+
+// Pop frees the most recent frame by restoring the watermark to base, as a
+// function epilogue restores the stack pointer.
+func (s *Stack) Pop(base int) {
+	if base < 0 || base > s.top {
+		panic(fmt.Sprintf("stack %d: Pop to %d with top %d", s.id, base, s.top))
+	}
+	s.top = base
+}
+
+// SetWatermark forces the watermark, used when resuming a suspended frame
+// whose saved state records the stack depth at suspension.
+func (s *Stack) SetWatermark(bytes int) {
+	if bytes < 0 || bytes > s.CapacityBytes() {
+		panic(fmt.Sprintf("stack %d: SetWatermark(%d)", s.id, bytes))
+	}
+	s.top = bytes
+	if bytes > s.high {
+		s.high = bytes
+	}
+}
+
+// UnmapAbove returns the unused pages above the live watermark to the OS
+// via madvise(DONTNEED) — Listing 3's unmap(f->stack, PAGE_ALIGN(rsp)).
+// Only whole pages strictly above the watermark page are freed; the
+// partially used top page stays resident (the "+D" term of Theorem 4.2).
+// It returns the number of physical pages freed.
+func (s *Stack) UnmapAbove() int {
+	return s.region.Madvise(s.Pages(), s.Capacity())
+}
+
+// MapDummyAbove is the serialized-mmap alternative to UnmapAbove: it remaps
+// the unused pages to a dummy file, taking the address-space lock.
+func (s *Stack) MapDummyAbove() int {
+	return s.region.MapDummy(s.Pages(), s.Capacity())
+}
+
+// RemapAbove undoes MapDummyAbove before the stack is reused. After a
+// madvise-based unmap this is unnecessary (remap is a no-op in that mode).
+func (s *Stack) RemapAbove() {
+	s.region.RemapAnonymous(s.Pages(), s.Capacity())
+}
+
+// Branch records that child branched off this stack at its current
+// watermark — a new node in the cactus stack, created when a thief resumes
+// a stolen frame on a fresh stack. Branch may only be used when the caller
+// owns this stack; a thief branching off a stack another worker is still
+// executing on must use BranchAt with a previously captured depth.
+func (s *Stack) Branch(child *Stack) {
+	child.parent = s
+	child.parentDepth = s.top
+}
+
+// BranchAt is Branch with an explicit branch depth in bytes, for callers
+// that captured the depth earlier (e.g. at frame initialization) and must
+// not read the live watermark of a stack they do not own.
+func (s *Stack) BranchAt(child *Stack, depth int) {
+	child.parent = s
+	child.parentDepth = depth
+}
+
+// ClearBranch detaches the stack from its parent, used when the stack is
+// recycled through the pool.
+func (s *Stack) ClearBranch() {
+	s.parent = nil
+	s.parentDepth = 0
+}
+
+// Parent returns the stack this one branched from, or nil at a root.
+func (s *Stack) Parent() *Stack { return s.parent }
+
+// CactusPath returns the stacks from this one back to the root of its
+// cactus-stack branch, with the byte depth contributed by each: the current
+// stack contributes its watermark, each ancestor contributes its watermark
+// at the branch point. The path length bounds the paper's D, and the byte
+// sum bounds the per-path space of Theorem 4.1.
+func (s *Stack) CactusPath() (stacks []*Stack, bytes []int) {
+	cur, depth := s, s.top
+	for cur != nil {
+		stacks = append(stacks, cur)
+		bytes = append(bytes, depth)
+		depth = cur.parentDepth
+		cur = cur.parent
+	}
+	return stacks, bytes
+}
+
+// Release unmaps the stack's region entirely. Only for teardown.
+func (s *Stack) Release() { s.region.MUnmap() }

@@ -1,0 +1,289 @@
+package stack
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fibril/internal/vm"
+)
+
+func newStack(t *testing.T, pages int) (*vm.AddressSpace, *Stack) {
+	t.Helper()
+	as := vm.NewAddressSpace()
+	s, err := New(as, pages, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, s
+}
+
+func TestPushPopWatermark(t *testing.T) {
+	_, s := newStack(t, 4)
+	b1, err := s.Push(100)
+	if err != nil || b1 != 0 {
+		t.Fatalf("Push(100) = %d,%v", b1, err)
+	}
+	b2, _ := s.Push(200)
+	if b2 != 100 {
+		t.Fatalf("second frame base = %d, want 100", b2)
+	}
+	if s.Bytes() != 300 || s.Pages() != 1 {
+		t.Fatalf("watermark = %d bytes / %d pages, want 300/1", s.Bytes(), s.Pages())
+	}
+	s.Pop(b2)
+	s.Pop(b1)
+	if s.Bytes() != 0 {
+		t.Fatalf("watermark = %d after pops, want 0", s.Bytes())
+	}
+	if s.HighWaterPages() != 1 {
+		t.Fatalf("high water = %d pages, want 1", s.HighWaterPages())
+	}
+}
+
+func TestPushTouchesPages(t *testing.T) {
+	as, s := newStack(t, 8)
+	s.Push(3 * vm.PageSize)
+	if got := as.Snapshot().PageFaults; got != 3 {
+		t.Errorf("faults = %d after 3-page frame, want 3", got)
+	}
+	s.Push(vm.PageSize / 2)
+	if got := as.Snapshot().PageFaults; got != 4 {
+		t.Errorf("faults = %d, want 4", got)
+	}
+	// A tiny frame within the already-resident page is free.
+	s.Push(16)
+	if got := as.Snapshot().PageFaults; got != 4 {
+		t.Errorf("faults = %d after sub-page push, want still 4", got)
+	}
+}
+
+func TestPushZeroBytes(t *testing.T) {
+	as, s := newStack(t, 2)
+	if _, err := s.Push(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Snapshot().PageFaults; got != 0 {
+		t.Errorf("zero-size frame faulted %d pages", got)
+	}
+}
+
+func TestOverflow(t *testing.T) {
+	_, s := newStack(t, 2)
+	if _, err := s.Push(2*vm.PageSize + 1); err == nil {
+		t.Error("expected overflow error")
+	}
+	if _, err := s.Push(2 * vm.PageSize); err != nil {
+		t.Errorf("exact-fit push failed: %v", err)
+	}
+	if _, err := s.Push(1); err == nil {
+		t.Error("expected overflow on full stack")
+	}
+	if _, err := s.Push(-1); err == nil {
+		t.Error("expected error on negative size")
+	}
+}
+
+func TestUnmapAboveKeepsLivePages(t *testing.T) {
+	as, s := newStack(t, 16)
+	base, _ := s.Push(10 * vm.PageSize)
+	s.Push(5 * vm.PageSize)
+	s.Pop(base + 10*vm.PageSize) // back to 10 pages live, 15 resident
+	if got := s.ResidentPages(); got != 15 {
+		t.Fatalf("resident = %d, want 15", got)
+	}
+	freed := s.UnmapAbove()
+	if freed != 5 {
+		t.Errorf("UnmapAbove freed %d, want 5", freed)
+	}
+	if got := s.ResidentPages(); got != 10 {
+		t.Errorf("resident = %d after unmap, want 10 live pages kept", got)
+	}
+	// Pushing again refaults.
+	before := as.Snapshot().PageFaults
+	s.Push(2 * vm.PageSize)
+	if got := as.Snapshot().PageFaults - before; got != 2 {
+		t.Errorf("refaults = %d, want 2", got)
+	}
+}
+
+func TestUnmapAbovePartialPage(t *testing.T) {
+	_, s := newStack(t, 4)
+	s.Push(vm.PageSize + 100) // 1 full page + partial second page
+	s.Push(2*vm.PageSize - 200)
+	s.Pop(vm.PageSize + 100)
+	// Watermark page (page 1, partially used) must survive the unmap —
+	// this is the per-stack "+1" that becomes the +D of Theorem 4.2.
+	s.UnmapAbove()
+	if got := s.ResidentPages(); got != 2 {
+		t.Errorf("resident = %d, want 2 (full page + partial watermark page)", got)
+	}
+}
+
+func TestMapDummyAboveAndRemap(t *testing.T) {
+	as, s := newStack(t, 8)
+	s.Push(8 * vm.PageSize)
+	s.Pop(2 * vm.PageSize)
+	s.MapDummyAbove()
+	if got := s.ResidentPages(); got != 2 {
+		t.Errorf("resident = %d, want 2", got)
+	}
+	s.RemapAbove()
+	s.Push(vm.PageSize)
+	if got := as.Snapshot().DummyTouches; got != 0 {
+		t.Errorf("dummy touches = %d, want 0 after remap", got)
+	}
+}
+
+func TestCactusPath(t *testing.T) {
+	as := vm.NewAddressSpace()
+	root, _ := New(as, 8, 1)
+	mid, _ := New(as, 8, 2)
+	leaf, _ := New(as, 8, 3)
+	root.Push(1000)
+	root.Branch(mid)
+	mid.Push(2000)
+	mid.Branch(leaf)
+	leaf.Push(3000)
+
+	stacks, bytes := leaf.CactusPath()
+	if len(stacks) != 3 {
+		t.Fatalf("path length = %d, want 3", len(stacks))
+	}
+	wantIDs := []int{3, 2, 1}
+	wantBytes := []int{3000, 2000, 1000}
+	for i := range stacks {
+		if stacks[i].ID() != wantIDs[i] || bytes[i] != wantBytes[i] {
+			t.Errorf("path[%d] = stack %d / %d bytes, want %d / %d",
+				i, stacks[i].ID(), bytes[i], wantIDs[i], wantBytes[i])
+		}
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	as := vm.NewAddressSpace()
+	p := NewPool(as, 4, 0)
+	s1 := p.Take()
+	s1.Push(100)
+	p.Put(s1)
+	s2 := p.Take()
+	if s2 != s1 {
+		t.Error("pool did not reuse the freed stack")
+	}
+	if s2.Bytes() != 0 {
+		t.Errorf("recycled stack watermark = %d, want 0", s2.Bytes())
+	}
+	if p.Created() != 1 {
+		t.Errorf("Created = %d, want 1", p.Created())
+	}
+}
+
+func TestPoolCreatesWhenEmpty(t *testing.T) {
+	as := vm.NewAddressSpace()
+	p := NewPool(as, 4, 0)
+	a := p.Take()
+	b := p.Take()
+	if a == b {
+		t.Error("pool returned the same stack twice")
+	}
+	if p.Created() != 2 || p.MaxInUse() != 2 {
+		t.Errorf("Created=%d MaxInUse=%d, want 2/2", p.Created(), p.MaxInUse())
+	}
+}
+
+func TestBoundedPoolBlocksThenUnblocks(t *testing.T) {
+	as := vm.NewAddressSpace()
+	p := NewPool(as, 4, 2)
+	a := p.Take()
+	b := p.Take()
+	if _, ok := p.TryTake(); ok {
+		t.Fatal("TryTake succeeded past the limit")
+	}
+	done := make(chan *Stack)
+	go func() { done <- p.Take() }()
+	// Wait until the taker has actually stalled before returning a stack.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stalls() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("taker never stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Put(b)
+	got := <-done
+	if got != b {
+		t.Error("blocked Take did not receive the returned stack")
+	}
+	if p.Stalls() != 1 {
+		t.Errorf("Stalls = %d, want 1", p.Stalls())
+	}
+	p.Put(a)
+	p.Put(got)
+	p.Drain()
+	if rss := as.Snapshot().VirtualPages; rss != 0 {
+		t.Errorf("VirtualPages = %d after drain, want 0", rss)
+	}
+}
+
+// Property: push/pop algebra — after any valid sequence, watermark equals
+// the sum of live frame sizes, and page residency is at least PAGE_ALIGN of
+// the high-water mark until an unmap happens.
+func TestQuickPushPopAlgebra(t *testing.T) {
+	prop := func(sizes []uint16, popMask uint32) bool {
+		as := vm.NewAddressSpace()
+		s, err := New(as, 64, 1)
+		if err != nil {
+			return false
+		}
+		type frame struct{ base, size int }
+		var live []frame
+		total := 0
+		for i, sz := range sizes {
+			size := int(sz % 2048)
+			if total+size <= s.CapacityBytes() {
+				base, err := s.Push(size)
+				if err != nil {
+					return false
+				}
+				live = append(live, frame{base, size})
+				total += size
+			}
+			if popMask&(1<<(uint(i)%32)) != 0 && len(live) > 0 {
+				f := live[len(live)-1]
+				live = live[:len(live)-1]
+				s.Pop(f.base)
+				total -= f.size
+			}
+			if s.Bytes() != total {
+				return false
+			}
+			if s.ResidentPages() < s.Pages() {
+				return false // live pages must always be resident
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UnmapAbove never frees live pages and always leaves exactly the
+// watermark pages resident when the whole stack was previously touched.
+func TestQuickUnmapInvariant(t *testing.T) {
+	prop := func(liveBytes uint16) bool {
+		as := vm.NewAddressSpace()
+		s, err := New(as, 16, 1)
+		if err != nil {
+			return false
+		}
+		s.Push(16 * vm.PageSize) // touch everything
+		keep := int(liveBytes) % (16 * vm.PageSize)
+		s.Pop(keep)
+		s.UnmapAbove()
+		return s.ResidentPages() == vm.PageAlign(keep)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFprintAligns(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"name", "value"}}
+	tb.Add("fib", 1.5)
+	tb.Add("quicksort", 12)
+	var b strings.Builder
+	if err := tb.Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "T" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "fib      ") {
+		t.Errorf("row not padded: %q", lines[3])
+	}
+	if !strings.Contains(lines[3], "1.50") {
+		t.Errorf("float not formatted: %q", lines[3])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.Add(1, 2)
+	tb.Add("x", 3.25)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\nx,3.25\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,203 @@
+// Package trace records scheduler events from the real runtime
+// (internal/core) for post-mortem inspection: when work was stolen, when
+// frames suspended and resumed, when stacks were unmapped. The paper's
+// Table 2 aggregates exactly these events; the tracer exposes them
+// individually, with timestamps and worker attribution, plus a text
+// timeline renderer for eyeballing load balance.
+//
+// Tracing is opt-in (core.Config.Tracer); a nil recorder costs one
+// pointer test per event site.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a scheduler event.
+type Kind uint8
+
+const (
+	// KindFork: a child task was pushed (arg: frame depth).
+	KindFork Kind = iota
+	// KindSteal: a task was stolen (arg: victim worker).
+	KindSteal
+	// KindSuspend: a frame suspended at a join (arg: stack id).
+	KindSuspend
+	// KindResume: a suspended frame resumed (arg: stack id).
+	KindResume
+	// KindUnmap: a suspended stack's pages were returned (arg: pages freed).
+	KindUnmap
+	// KindTaskStart: a worker began executing a stolen task (arg: depth).
+	KindTaskStart
+	// KindTaskEnd: a stolen task completed (arg: depth).
+	KindTaskEnd
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFork:
+		return "fork"
+	case KindSteal:
+		return "steal"
+	case KindSuspend:
+		return "suspend"
+	case KindResume:
+		return "resume"
+	case KindUnmap:
+		return "unmap"
+	case KindTaskStart:
+		return "start"
+	case KindTaskEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded scheduler event.
+type Event struct {
+	At     time.Duration // since the recorder's start
+	Worker int           // worker slot id (-1 if unknown)
+	Kind   Kind
+	Arg    int64
+}
+
+// Recorder accumulates events. Safe for concurrent use; Record is a short
+// critical section (tracing trades some perturbation for visibility, as
+// any tracer does).
+type Recorder struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []Event
+	limit  int
+}
+
+// NewRecorder creates a recorder capped at limit events (0 = 1<<20).
+// Events past the cap are dropped and counted.
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{start: time.Now(), limit: limit}
+}
+
+// Record appends an event. Nil-safe: a nil recorder ignores the call.
+func (r *Recorder) Record(worker int, kind Kind, arg int64) {
+	if r == nil {
+		return
+	}
+	at := time.Since(r.start)
+	r.mu.Lock()
+	if len(r.events) < r.limit {
+		r.events = append(r.events, Event{At: at, Worker: worker, Kind: kind, Arg: arg})
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in time order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset drops all events and restarts the clock.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.start = time.Now()
+	r.mu.Unlock()
+}
+
+// Counts aggregates events by kind — the tracer-side view of Table 2.
+func (r *Recorder) Counts() map[Kind]int {
+	counts := map[Kind]int{}
+	r.mu.Lock()
+	for _, e := range r.events {
+		counts[e.Kind]++
+	}
+	r.mu.Unlock()
+	return counts
+}
+
+// Timeline renders a per-worker text timeline of the recorded events with
+// the given bucket width: one lane per worker, one column per bucket, the
+// densest event kind's initial in each cell.
+func (r *Recorder) Timeline(w io.Writer, bucket time.Duration) error {
+	events := r.Events()
+	if len(events) == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	if bucket <= 0 {
+		bucket = time.Millisecond
+	}
+	maxWorker := 0
+	span := events[len(events)-1].At
+	for _, e := range events {
+		if e.Worker > maxWorker {
+			maxWorker = e.Worker
+		}
+	}
+	cols := int(span/bucket) + 1
+	if cols > 120 {
+		cols = 120
+		bucket = span/119 + 1
+	}
+	glyph := map[Kind]byte{
+		KindFork: 'f', KindSteal: 'S', KindSuspend: 'z',
+		KindResume: 'R', KindUnmap: 'u', KindTaskStart: '>', KindTaskEnd: '<',
+	}
+	// Rank kinds so rarer, more interesting events win a contested cell.
+	rank := map[Kind]int{
+		KindFork: 0, KindTaskEnd: 1, KindTaskStart: 2, KindUnmap: 3,
+		KindSteal: 4, KindResume: 5, KindSuspend: 6,
+	}
+	lanes := make([][]byte, maxWorker+1)
+	laneRank := make([][]int, maxWorker+1)
+	for i := range lanes {
+		lanes[i] = []byte(strings.Repeat(".", cols))
+		laneRank[i] = make([]int, cols)
+		for j := range laneRank[i] {
+			laneRank[i][j] = -1
+		}
+	}
+	for _, e := range events {
+		if e.Worker < 0 {
+			continue
+		}
+		c := int(e.At / bucket)
+		if c >= cols {
+			c = cols - 1
+		}
+		if rk := rank[e.Kind]; rk > laneRank[e.Worker][c] {
+			lanes[e.Worker][c] = glyph[e.Kind]
+			laneRank[e.Worker][c] = rk
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %v total, %v/column; f=fork S=steal z=suspend R=resume u=unmap >=start <=end\n",
+		span.Round(time.Microsecond), bucket)
+	for i, lane := range lanes {
+		fmt.Fprintf(&b, "w%-3d %s\n", i, lane)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, KindFork, 1) // must not panic
+}
+
+func TestRecordAndCounts(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(0, KindFork, 1)
+	r.Record(1, KindSteal, 0)
+	r.Record(0, KindFork, 2)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	c := r.Counts()
+	if c[KindFork] != 2 || c[KindSteal] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+}
+
+func TestLimitDropsOverflow(t *testing.T) {
+	r := NewRecorder(5)
+	for i := 0; i < 20; i++ {
+		r.Record(0, KindFork, int64(i))
+	}
+	if r.Len() != 5 {
+		t.Errorf("Len = %d, want capped 5", r.Len())
+	}
+}
+
+func TestEventsSortedByTime(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		r.Record(i%4, KindFork, int64(i))
+	}
+	events := r.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(0, KindFork, 0)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Errorf("Len after Reset = %d", r.Len())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(g, KindSteal, int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 8000 {
+		t.Errorf("Len = %d, want 8000", r.Len())
+	}
+}
+
+func TestTimelineRendersLanes(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(0, KindFork, 0)
+	r.Record(2, KindSteal, 0)
+	r.Record(1, KindSuspend, 0)
+	var b strings.Builder
+	if err := r.Timeline(&b, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, lane := range []string{"w0", "w1", "w2"} {
+		if !strings.Contains(out, lane) {
+			t.Errorf("timeline missing lane %s:\n%s", lane, out)
+		}
+	}
+	if !strings.Contains(out, "S") {
+		t.Errorf("timeline missing steal glyph:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	r := NewRecorder(0)
+	var b strings.Builder
+	if err := r.Timeline(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no events") {
+		t.Errorf("empty timeline output: %q", b.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindFork, KindSteal, KindSuspend, KindResume, KindUnmap, KindTaskStart, KindTaskEnd}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad name %q", k, s)
+		}
+		seen[s] = true
+	}
+}

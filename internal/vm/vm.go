@@ -1,0 +1,284 @@
+// Package vm simulates the virtual-memory subsystem that the Fibril paper's
+// stack-management scheme relies on (SPAA 2016, §4.3 "Implementation of
+// unmap/remap" and §4.4).
+//
+// The Go runtime owns real goroutine stacks, so page-level control of the
+// kind Fibril exercises with mmap/madvise on thread stacks is impossible in
+// pure Go. This package therefore models the relevant kernel behaviour at
+// page granularity:
+//
+//   - an AddressSpace with a single lock that serializes address-space
+//     mutations (MMap, MUnmap, RemapAnonymous, MapDummy), as Linux's
+//     mmap_sem did on the paper's kernel (3.16);
+//   - Madvise(DONTNEED) that frees resident pages WITHOUT taking the
+//     address-space lock, which is exactly why Fibril implements unmap
+//     with madvise;
+//   - demand paging: anonymous pages become resident on first Touch,
+//     counting a page fault and incrementing the resident-set size (RSS).
+//
+// All quantities the paper reports — page faults, unmaps, ΔRSS/MaxRSS,
+// stack pages S1, S1+D, S72/72 — are defined on these counters.
+//
+// Concurrency contract: an AddressSpace and its counters are safe for
+// concurrent use. An individual Region's page state is owned by at most one
+// worker at a time (a stack is used by exactly one worker; suspended stacks
+// are not touched until resumed), mirroring Fibril's ownership discipline.
+// Counter updates remain atomic so cross-region aggregates are exact.
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the simulated page size in bytes. The paper's experiments all
+// use 4 KB pages.
+const PageSize = 4096
+
+// PageAlign rounds a byte count up to a whole number of pages, the analogue
+// of the paper's PAGE_ALIGN applied to a stack watermark.
+func PageAlign(bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + PageSize - 1) / PageSize
+}
+
+// AddressSpace models one process's virtual address space. The zero value is
+// not usable; construct with NewAddressSpace.
+type AddressSpace struct {
+	mu sync.Mutex // serializes address-space mutations, like mmap_sem
+
+	nextBase uint64 // bump allocator for region placement (page units)
+
+	// All counters are in pages unless otherwise noted.
+	rss           atomic.Int64 // current resident set
+	maxRSS        atomic.Int64 // high-water resident set
+	virtualPages  atomic.Int64 // currently reserved virtual pages
+	maxVirtual    atomic.Int64 // high-water virtual reservation
+	faults        atomic.Int64 // demand-paging faults (count, not pages... each fault is one page)
+	mmapCalls     atomic.Int64
+	munmapCalls   atomic.Int64
+	madviseCalls  atomic.Int64
+	remapCalls    atomic.Int64
+	lockContended atomic.Int64 // address-space lock acquisitions that had to wait
+	dummyTouches  atomic.Int64 // touches of dummy-file pages (should stay 0)
+	madvisedPages atomic.Int64 // pages freed via Madvise(DONTNEED)
+}
+
+// NewAddressSpace returns an empty simulated address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{nextBase: 1} // keep 0 unmapped, like a real null page
+}
+
+// lock acquires the address-space lock, recording whether it was contended.
+func (as *AddressSpace) lock() {
+	if as.mu.TryLock() {
+		return
+	}
+	as.lockContended.Add(1)
+	as.mu.Lock()
+}
+
+// pageState is the per-page mapping state within a Region.
+type pageState uint8
+
+const (
+	pageAnon     pageState = iota // anonymous mapping, not resident (faults on touch)
+	pageResident                  // anonymous mapping, resident in physical memory
+	pageDummy                     // mapped to the dummy file: VA preserved, no physical page
+)
+
+// Region is a contiguous page-aligned mapping inside an AddressSpace, e.g.
+// one worker stack. Page state is externally synchronized by region
+// ownership (see package comment); counters on the parent AddressSpace are
+// atomic.
+type Region struct {
+	as     *AddressSpace
+	base   uint64 // first page number in the address space
+	pages  []pageState
+	faults int64 // demand-paging faults taken by this region
+	freed  bool
+}
+
+// Faults returns how many demand-paging faults this region has taken. Like
+// the page state, it is owner-synchronized.
+func (r *Region) Faults() int64 { return r.faults }
+
+// MMap reserves a new anonymous region of n pages. Pages are not resident
+// until touched. It takes the address-space lock (serialized, like mmap).
+func (as *AddressSpace) MMap(n int) (*Region, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("vm: MMap of %d pages", n)
+	}
+	as.lock()
+	base := as.nextBase
+	as.nextBase += uint64(n) + 1 // one guard page between regions
+	as.mu.Unlock()
+
+	as.mmapCalls.Add(1)
+	v := as.virtualPages.Add(int64(n))
+	atomicMax(&as.maxVirtual, v)
+	return &Region{as: as, base: base, pages: make([]pageState, n)}, nil
+}
+
+// MUnmap releases the region: resident pages are freed and the virtual
+// reservation is returned. Takes the address-space lock.
+func (r *Region) MUnmap() {
+	if r.freed {
+		panic("vm: double MUnmap")
+	}
+	r.as.lock()
+	r.as.mu.Unlock()
+	r.as.munmapCalls.Add(1)
+	freedRes := 0
+	for i, s := range r.pages {
+		if s == pageResident {
+			freedRes++
+		}
+		r.pages[i] = pageAnon
+	}
+	r.as.rss.Add(int64(-freedRes))
+	r.as.virtualPages.Add(int64(-len(r.pages)))
+	r.freed = true
+}
+
+// Len returns the region's size in pages.
+func (r *Region) Len() int { return len(r.pages) }
+
+// Base returns the region's first simulated page number (its "address" in
+// page units), useful for tests asserting distinct placement.
+func (r *Region) Base() uint64 { return r.base }
+
+// Touch simulates an access to page i. If the page is not resident it takes
+// a demand-paging fault and becomes resident. Touching a dummy-file page is
+// a bug in the caller's remap discipline; it is counted separately and also
+// faults the page in so execution can continue.
+func (r *Region) Touch(i int) {
+	r.checkLive(i)
+	switch r.pages[i] {
+	case pageResident:
+		return
+	case pageDummy:
+		r.as.dummyTouches.Add(1)
+		fallthrough
+	case pageAnon:
+		r.pages[i] = pageResident
+		r.faults++
+		r.as.faults.Add(1)
+		v := r.as.rss.Add(1)
+		atomicMax(&r.as.maxRSS, v)
+	}
+}
+
+// TouchRange touches pages [lo, hi).
+func (r *Region) TouchRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r.Touch(i)
+	}
+}
+
+// Resident reports whether page i is resident.
+func (r *Region) Resident(i int) bool {
+	r.checkLive(i)
+	return r.pages[i] == pageResident
+}
+
+// ResidentPages returns how many of the region's pages are resident.
+func (r *Region) ResidentPages() int {
+	n := 0
+	for _, s := range r.pages {
+		if s == pageResident {
+			n++
+		}
+	}
+	return n
+}
+
+// Madvise models madvise(MADV_DONTNEED) over pages [lo, hi): resident pages
+// are freed immediately (the paper notes Linux frees eagerly) and will fault
+// back in on the next Touch. Crucially it does NOT take the address-space
+// lock, so concurrent Madvise calls on different stacks do not serialize —
+// the property that makes it Fibril's unmap of choice.
+func (r *Region) Madvise(lo, hi int) int {
+	r.checkRange(lo, hi)
+	r.as.madviseCalls.Add(1)
+	freed := 0
+	for i := lo; i < hi; i++ {
+		if r.pages[i] == pageResident {
+			r.pages[i] = pageAnon
+			freed++
+		}
+	}
+	if freed > 0 {
+		r.as.rss.Add(int64(-freed))
+		r.as.madvisedPages.Add(int64(freed))
+	}
+	return freed
+}
+
+// MapDummy models the alternative unmap: remapping [lo, hi) to an empty
+// dummy file with mmap(MAP_FIXED). The virtual range is preserved, physical
+// pages are freed, and the address-space lock is taken (serialized).
+func (r *Region) MapDummy(lo, hi int) int {
+	r.checkRange(lo, hi)
+	r.as.lock()
+	r.as.mu.Unlock()
+	r.as.mmapCalls.Add(1)
+	freed := 0
+	for i := lo; i < hi; i++ {
+		if r.pages[i] == pageResident {
+			freed++
+		}
+		r.pages[i] = pageDummy
+	}
+	if freed > 0 {
+		r.as.rss.Add(int64(-freed))
+	}
+	return freed
+}
+
+// RemapAnonymous models the remap needed after MapDummy: mmap the range
+// anonymous again so it can be touched. Takes the address-space lock. After
+// a Madvise-based unmap, remap is a no-op and this should not be called.
+func (r *Region) RemapAnonymous(lo, hi int) {
+	r.checkRange(lo, hi)
+	r.as.lock()
+	r.as.mu.Unlock()
+	r.as.mmapCalls.Add(1)
+	r.as.remapCalls.Add(1)
+	for i := lo; i < hi; i++ {
+		if r.pages[i] == pageDummy {
+			r.pages[i] = pageAnon
+		}
+	}
+}
+
+func (r *Region) checkLive(i int) {
+	if r.freed {
+		panic("vm: use of unmapped region")
+	}
+	if i < 0 || i >= len(r.pages) {
+		panic(fmt.Sprintf("vm: page %d out of range [0,%d)", i, len(r.pages)))
+	}
+}
+
+func (r *Region) checkRange(lo, hi int) {
+	if r.freed {
+		panic("vm: use of unmapped region")
+	}
+	if lo < 0 || hi > len(r.pages) || lo > hi {
+		panic(fmt.Sprintf("vm: range [%d,%d) out of [0,%d)", lo, hi, len(r.pages)))
+	}
+}
+
+// atomicMax raises *a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package fibril_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"fibril"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 4})
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	rt.Run(func(w *fibril.W) {
+		fibril.For(w, 0, n, 16, func(w *fibril.W, i int) { counts[i].Add(1) })
+	})
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestForEmptyAndDegenerate(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 2})
+	var ran atomic.Int32
+	rt.Run(func(w *fibril.W) {
+		fibril.For(w, 5, 5, 8, func(*fibril.W, int) { ran.Add(1) })  // empty
+		fibril.For(w, 9, 5, 8, func(*fibril.W, int) { ran.Add(1) })  // inverted
+		fibril.For(w, 3, 4, -7, func(*fibril.W, int) { ran.Add(1) }) // grain ≤ 0
+	})
+	if got := ran.Load(); got != 1 {
+		t.Errorf("ran %d iterations, want 1", got)
+	}
+}
+
+// Property: For(lo,hi,grain) visits exactly [lo,hi) for arbitrary bounds
+// and grains, under every strategy's scheduling.
+func TestQuickForCoverage(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 4})
+	prop := func(loRaw, spanRaw uint16, grainRaw uint8) bool {
+		lo := int(loRaw % 200)
+		hi := lo + int(spanRaw%500)
+		grain := int(grainRaw % 40)
+		visited := make([]atomic.Int32, hi+1)
+		rt.Run(func(w *fibril.W) {
+			fibril.For(w, lo, hi, grain, func(_ *fibril.W, i int) {
+				visited[i].Add(1)
+			})
+		})
+		for i := 0; i < lo; i++ {
+			if visited[i].Load() != 0 {
+				return false
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if visited[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 4})
+	data := make([]int64, 512)
+	rt.Run(func(w *fibril.W) {
+		fibril.ForEach(w, data, 32, func(_ *fibril.W, v *int64) { *v = 7 })
+	})
+	for i, v := range data {
+		if v != 7 {
+			t.Fatalf("data[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 4})
+	var got int64
+	rt.Run(func(w *fibril.W) {
+		got = fibril.Reduce(w, 1, 1001, 16, 0,
+			func(_ *fibril.W, i int) int64 { return int64(i) },
+			func(a, b int64) int64 { return a + b })
+	})
+	if got != 500500 {
+		t.Errorf("sum = %d, want 500500", got)
+	}
+}
+
+func TestReduceNonCommutativeKeepsOrder(t *testing.T) {
+	// String concatenation is associative but not commutative: Reduce must
+	// produce the in-order concatenation regardless of scheduling.
+	rt := fibril.New(fibril.Config{Workers: 4})
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	var got string
+	rt.Run(func(w *fibril.W) {
+		got = fibril.Reduce(w, 0, len(letters), 3, "",
+			func(_ *fibril.W, i int) string { return string(letters[i]) },
+			func(a, b string) string { return a + b })
+	})
+	if got != letters {
+		t.Errorf("Reduce reordered: %q", got)
+	}
+}
+
+// Property: Reduce with + equals the closed-form sum for arbitrary ranges.
+func TestQuickReduceSum(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 4})
+	prop := func(spanRaw uint16, grainRaw uint8) bool {
+		n := int(spanRaw % 800)
+		grain := int(grainRaw%50) + 1
+		var got int64
+		rt.Run(func(w *fibril.W) {
+			got = fibril.Reduce(w, 0, n, grain, 0,
+				func(_ *fibril.W, i int) int64 { return int64(i) },
+				func(a, b int64) int64 { return a + b })
+		})
+		return got == int64(n)*int64(n-1)/2 || (n == 0 && got == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapTransforms(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 4})
+	in := make([]int, 300)
+	for i := range in {
+		in[i] = i
+	}
+	out := make([]string, 300)
+	rt.Run(func(w *fibril.W) {
+		fibril.Map(w, out, in, 16, func(_ *fibril.W, v int) string {
+			return strings.Repeat("x", v%3)
+		})
+	})
+	for i := range out {
+		if len(out[i]) != i%3 {
+			t.Fatalf("out[%d] = %q", i, out[i])
+		}
+	}
+}
+
+func TestForPanicSurfaces(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 4})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected the iteration panic to surface")
+		}
+	}()
+	rt.Run(func(w *fibril.W) {
+		fibril.For(w, 0, 100, 4, func(_ *fibril.W, i int) {
+			if i == 63 {
+				panic("iteration 63")
+			}
+		})
+	})
+}
+
+func TestLoopsUnderEveryStrategy(t *testing.T) {
+	for _, s := range fibril.Strategies() {
+		rt := fibril.New(fibril.Config{Workers: 4, Strategy: s})
+		var sum int64
+		rt.Run(func(w *fibril.W) {
+			sum = fibril.Reduce(w, 0, 500, 8, 0,
+				func(_ *fibril.W, i int) int64 { return int64(i) },
+				func(a, b int64) int64 { return a + b })
+		})
+		if sum != 124750 {
+			t.Errorf("%v: sum = %d", s, sum)
+		}
+	}
+}
