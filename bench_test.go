@@ -8,11 +8,15 @@
 package fibril_test
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"fibril"
 	"fibril/internal/bench"
 	"fibril/internal/core"
+	"fibril/internal/deque"
 	"fibril/internal/invoke"
 	"fibril/internal/sim"
 )
@@ -223,6 +227,85 @@ func BenchmarkForkJoin(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkForkJoinOverhead measures the per-strategy cost of one
+// fork+join pair (Figure 3 spirit) for both deque implementations, so the
+// fork fast path's cost — and the Chase–Lev boxing cost — stay visible.
+func BenchmarkForkJoinOverhead(b *testing.B) {
+	for _, strat := range []core.Strategy{
+		core.StrategyFibril, core.StrategyCilkPlus, core.StrategyTBB,
+		core.StrategyLeapfrog,
+	} {
+		for _, kind := range core.DequeKinds() {
+			b.Run(strat.String()+"/"+kind.String(), func(b *testing.B) {
+				rt := core.NewRuntime(core.Config{
+					Workers: 1, Strategy: strat, Deque: kind,
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				rt.Run(func(w *core.W) {
+					var fr core.Frame
+					w.Init(&fr)
+					for i := 0; i < b.N; i++ {
+						w.Fork(&fr, func(*core.W) {})
+						w.Join(&fr)
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkStealThroughput measures pure steal throughput under thief
+// contention: one producer fills the deque (untimed — Push cost is
+// BenchmarkForkJoinOverhead's job), then P thieves race to drain it and
+// only the drain is timed. The THE deque serializes every thief on a
+// mutex; Chase–Lev resolves each steal with one CAS, which is the
+// tentpole win this benchmark pins. Runs at GOMAXPROCS>=4 so thief
+// contention is real even on small hosts.
+func BenchmarkStealThroughput(b *testing.B) {
+	const thieves = 4
+	run := func(b *testing.B, push func(int), steal func() (int, bool)) {
+		if prev := runtime.GOMAXPROCS(0); prev < 4 {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+		}
+		for i := 0; i < b.N; i++ {
+			push(i)
+		}
+		var consumed atomic.Int64
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < thieves; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for {
+					if _, ok := steal(); ok {
+						consumed.Add(1)
+						continue
+					}
+					if consumed.Load() >= int64(b.N) {
+						return
+					}
+					runtime.Gosched()
+				}
+			}()
+		}
+		b.ResetTimer()
+		close(start)
+		wg.Wait()
+		b.StopTimer()
+	}
+	b.Run("the", func(b *testing.B) {
+		d := &deque.Deque[int]{}
+		run(b, d.Push, d.Steal)
+	})
+	b.Run("chaselev", func(b *testing.B) {
+		d := &deque.ChaseLev[int]{}
+		run(b, d.Push, d.Steal)
+	})
 }
 
 // BenchmarkPublicAPI exercises the exported package the way the quickstart

@@ -9,11 +9,17 @@
 //	fibril-bench -experiment fig3 -reps 10  # the paper's ten repetitions
 //
 // Experiments: fig3, fig4, table2, table3, table4, mmap-vs-madvise,
-// depth-restricted, stack-pool, counters, all. See EXPERIMENTS.md for the
-// mapping to the paper and the expected shapes.
+// depth-restricted, stack-pool, stealpath, counters, all. See
+// EXPERIMENTS.md for the mapping to the paper and the expected shapes.
+//
+// The stealpath experiment additionally supports -json <path>, writing its
+// rows as a JSON array (benchmark, strategy, deque, p, ns_op, steals,
+// steal_attempts) — the machine-readable seed of the repo's perf
+// trajectory (results/BENCH_stealpath.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,12 +33,13 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | counters | all")
+			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | stealpath | counters | all")
 		full = flag.Bool("full", false,
 			"use simulation-scale inputs and the paper's worker grid (slow)")
 		reps      = flag.Int("reps", 3, "timing repetitions for real-runtime measurements")
 		list      = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonPath  = flag.String("json", "", "write the stealpath experiment's rows as JSON to this path")
 		helpFirst = flag.Bool("helpfirst", false,
 			"simulate with the help-first child-stealing engine instead of the paper's work-first discipline")
 	)
@@ -106,6 +113,15 @@ func main() {
 			}
 			emit(exper.Predict(opts, s))
 		}
+	case "stealpath":
+		rows, t := exper.StealPath(opts)
+		emit(t)
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+				os.Exit(1)
+			}
+		}
 	case "counters":
 		emit(exper.CountersSmoke(opts))
 	case "all":
@@ -118,12 +134,29 @@ func main() {
 		emit(exper.AblationDepthRestricted(opts))
 		emit(exper.AblationStackPool(opts))
 		emit(exper.AblationDiscipline(opts))
+		rows, t := exper.StealPath(opts)
+		emit(t)
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+				os.Exit(1)
+			}
+		}
 		emit(exper.CountersSmoke(opts))
 	default:
 		fmt.Fprintf(os.Stderr, "fibril-bench: unknown experiment %q\n", *experiment)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeJSON writes v as indented JSON to path, creating it if needed.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func contains(xs []string, s string) bool {

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// dequeStrategies are the strategies that actually use worker deques (the
+// goroutine baseline has none, so Config.Deque is irrelevant there).
+func dequeStrategies() []Strategy {
+	ss := make([]Strategy, 0, len(Strategies()))
+	for _, s := range Strategies() {
+		if s != StrategyGoroutine {
+			ss = append(ss, s)
+		}
+	}
+	return ss
+}
+
+func TestDequeKindStrings(t *testing.T) {
+	if DequeTHE.String() != "the" || DequeChaseLev.String() != "chaselev" {
+		t.Errorf("deque kind names = %q, %q", DequeTHE, DequeChaseLev)
+	}
+	if got := DequeKind(99).String(); got != "DequeKind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+// TestRandomProgramsBothDeques runs the random fork-join programs under
+// every strategy with both deque implementations: results must match the
+// serial simulation regardless of Config.Deque.
+func TestRandomProgramsBothDeques(t *testing.T) {
+	for _, kind := range DequeKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for _, strat := range dequeStrategies() {
+				for seed := uint64(1); seed <= 6; seed++ {
+					p := newRandomProgram(seed * 0x2B5AD4F7)
+					rt := NewRuntime(Config{
+						Workers: 4, Strategy: strat, Deque: kind, StackPages: 4096,
+					})
+					var acc atomic.Int64
+					rt.Run(func(w *W) { p.run(w, p.seed, 0, &acc) })
+					if got := acc.Load(); got != p.expected {
+						t.Errorf("%s/%s seed %d: total %d, want %d",
+							strat, kind, seed, got, p.expected)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDequeKindsScheduleIdentically is the differential property test of
+// the deque abstraction: on a single worker the schedule is a pure
+// function of the deque's Push/Pop order, so running the same random
+// program under THE and Chase–Lev and comparing the exact leaf execution
+// ORDER (not just the sum) proves the two deques are semantically
+// interchangeable under every strategy.
+func TestDequeKindsScheduleIdentically(t *testing.T) {
+	for _, strat := range dequeStrategies() {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 8; seed++ {
+				p := newRandomProgram(seed * 0x9D2C5681)
+				var orders [2][]int64
+				var counters [2]Stats
+				for i, kind := range DequeKinds() {
+					rt := NewRuntime(Config{
+						Workers: 1, Strategy: strat, Deque: kind, StackPages: 4096,
+					})
+					order := make([]int64, 0, 64)
+					var mu atomic.Int64 // appender token; single worker, but keep it honest
+					rt.Run(func(w *W) {
+						p.runOrdered(w, p.seed, 0, &order, &mu)
+					})
+					orders[i] = order
+					counters[i] = rt.Stats()
+				}
+				if len(orders[0]) != len(orders[1]) {
+					t.Fatalf("seed %d: leaf counts differ: %d vs %d",
+						seed, len(orders[0]), len(orders[1]))
+				}
+				for j := range orders[0] {
+					if orders[0][j] != orders[1][j] {
+						t.Fatalf("seed %d: execution order diverges at leaf %d: %d vs %d",
+							seed, j, orders[0][j], orders[1][j])
+					}
+				}
+				a, b := counters[0], counters[1]
+				if a.Forks != b.Forks || a.Calls != b.Calls ||
+					a.Steals != b.Steals || a.Suspends != b.Suspends ||
+					a.Resumes != b.Resumes || a.Unmaps != b.Unmaps {
+					t.Fatalf("seed %d: scheduler counters diverge:\n the: %+v\n chaselev: %+v",
+						seed, a, b)
+				}
+			}
+		})
+	}
+}
+
+// runOrdered is randomProgram.run with the leaf tokens appended in
+// execution order instead of summed.
+func (p *randomProgram) runOrdered(w *W, seed uint64, depth int, order *[]int64, mu *atomic.Int64) {
+	phases, children, call, leaf := shape(seed, depth)
+	if phases == 0 {
+		for !mu.CompareAndSwap(0, 1) {
+		}
+		*order = append(*order, leaf)
+		mu.Store(0)
+		return
+	}
+	s := seed
+	var fr Frame
+	w.Init(&fr)
+	for ph := 0; ph < phases; ph++ {
+		for c := 0; c < children; c++ {
+			childSeed := next(&s)
+			w.Fork(&fr, func(w *W) { p.runOrdered(w, childSeed, depth+1, order, mu) })
+		}
+		w.Join(&fr)
+	}
+	if call {
+		callSeed := next(&s)
+		w.Call(func(w *W) { p.runOrdered(w, callSeed, depth+1, order, mu) })
+	}
+}
+
+// TestChaseLevMultiWorkerCountersBalance sanity-checks the lock-free steal
+// path under real concurrency: every fork is consumed exactly once, so
+// forks = steals + locally-executed tasks, and steals never exceed forks.
+func TestChaseLevMultiWorkerCountersBalance(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4, Deque: DequeChaseLev, StackPages: 4096})
+	var leaves atomic.Int64
+	var fib func(w *W, n int)
+	fib = func(w *W, n int) {
+		if n < 2 {
+			leaves.Add(1)
+			return
+		}
+		var fr Frame
+		w.Init(&fr)
+		w.Fork(&fr, func(w *W) { fib(w, n-1) })
+		w.Call(func(w *W) { fib(w, n-2) })
+		w.Join(&fr)
+	}
+	rt.Run(func(w *W) { fib(w, 16) })
+	st := rt.Stats()
+	if st.Steals > st.Forks {
+		t.Errorf("steals %d exceed forks %d", st.Steals, st.Forks)
+	}
+	if st.Suspends != st.Resumes {
+		t.Errorf("suspends %d != resumes %d", st.Suspends, st.Resumes)
+	}
+	want := int64(1597) // leaf invocations of fib(16): L(n)=L(n-1)+L(n-2), L(0)=L(1)=1
+	if got := leaves.Load(); got != want {
+		t.Errorf("leaves = %d, want %d", got, want)
+	}
+}

@@ -88,7 +88,7 @@ func (w *W) childDone(f *Frame) (handoff bool) {
 	ch := f.resume
 	f.mu.Unlock()
 
-	w.rt.stats.resumes.Add(1)
+	w.stats.resumes.Add(1)
 	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindResume, int64(f.stack.ID()))
 	if w.slot == nil {
 		// Goroutine baseline: just wake the waiter, no slot to transfer.
@@ -117,7 +117,7 @@ func (w *W) suspend(f *Frame) bool {
 	f.mu.Unlock()
 
 	rt := w.rt
-	rt.stats.suspends.Add(1)
+	w.stats.suspends.Add(1)
 	rt.cfg.Tracer.Record(w.slotID(), trace.KindSuspend, int64(w.stack.ID()))
 
 	// Return the unused portion of the suspended stack to the OS
@@ -127,13 +127,13 @@ func (w *W) suspend(f *Frame) bool {
 	switch rt.cfg.Strategy {
 	case StrategyFibril:
 		freed := w.stack.UnmapAbove()
-		rt.stats.unmaps.Add(1)
-		rt.stats.unmappedPages.Add(int64(freed))
+		w.stats.unmaps.Add(1)
+		w.stats.unmappedPages.Add(int64(freed))
 		rt.cfg.Tracer.Record(w.slotID(), trace.KindUnmap, int64(freed))
 	case StrategyFibrilMMap:
 		freed := w.stack.MapDummyAbove()
-		rt.stats.unmaps.Add(1)
-		rt.stats.unmappedPages.Add(int64(freed))
+		w.stats.unmaps.Add(1)
+		w.stats.unmappedPages.Add(int64(freed))
 	}
 
 	if w.slot != nil {

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parkLot is the quiet end of the thief backoff ladder: a thief that has
+// spun and yielded through repeated empty sweeps parks here, and the next
+// Fork wakes every parked thief. This replaces the unbounded Gosched spin
+// that burned a full core per idle thief, while preserving busy-leaves:
+// whenever work exists (every unit of queued work was published by a Fork,
+// and every Fork calls wake), no thief stays parked.
+//
+// The lost-wakeup argument is a Dekker pair. A parking thief registers
+// itself (nparked++) and only then runs one final steal sweep; a forker
+// publishes the task (deque push) and only then reads nparked. Under Go's
+// sequentially-consistent atomics it is impossible for the final sweep to
+// miss the push AND the forker to miss the registration, so either the
+// thief leaves with the task or the forker broadcasts — and the broadcast
+// serializes with the thief's mutex section, so it cannot fall between the
+// final sweep and the sleep.
+type parkLot struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	seq    uint64 // wake generation; guarded by mu
+	closed bool   // guarded by mu
+
+	// nparked mirrors the number of sleepers for wake's lock-free fast
+	// check; it is only written with mu held.
+	nparked atomic.Int32
+}
+
+func newParkLot() *parkLot {
+	p := &parkLot{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// open readies the lot for a new Run after a close.
+func (p *parkLot) open() {
+	p.mu.Lock()
+	p.closed = false
+	p.mu.Unlock()
+}
+
+// park puts the calling thief to sleep until the next wake or close.
+// finalSweep runs after the caller is registered as parked; if it finds a
+// task the caller does not sleep and the task is returned. park returns
+// (zero, false) on any wake-up — the caller re-enters its steal loop.
+func (p *parkLot) park(finalSweep func() (task, bool)) (task, bool) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return task{}, false
+	}
+	p.nparked.Add(1)
+	if t, ok := finalSweep(); ok {
+		p.nparked.Add(-1)
+		p.mu.Unlock()
+		return t, true
+	}
+	seq := p.seq
+	for p.seq == seq && !p.closed {
+		p.cond.Wait()
+	}
+	p.nparked.Add(-1)
+	p.mu.Unlock()
+	return task{}, false
+}
+
+// wake unparks every parked thief. The fast path — nobody parked — is a
+// single atomic load, so Fork stays cheap while the system is busy.
+func (p *parkLot) wake() {
+	if p.nparked.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.seq++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// close wakes everyone and keeps the lot closed until the next open, so
+// thieves parked around the end of a Run cannot sleep through shutdown.
+func (p *parkLot) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.seq++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// parked reports how many thieves are currently parked (racy snapshot).
+func (p *parkLot) parked() int { return int(p.nparked.Load()) }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitParked blocks until n thieves are parked or the deadline passes.
+func waitParked(t *testing.T, rt *Runtime, n int, deadline time.Duration) {
+	t.Helper()
+	start := time.Now()
+	for rt.park.parked() < n {
+		if time.Since(start) > deadline {
+			t.Fatalf("only %d/%d thieves parked after %v", rt.park.parked(), n, deadline)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestForkAfterAllThievesParked is the lost-wakeup stress test: once every
+// thief is parked, the root forks a pair of tasks where the one it would
+// run inline blocks until a THIEF runs the other. If a Fork could slip
+// past a parking thief (a lost wakeup), the blocked task would never be
+// released and the test would hang.
+func TestForkAfterAllThievesParked(t *testing.T) {
+	const workers = 4
+	for _, kind := range DequeKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			rt := NewRuntime(Config{Workers: workers, Deque: kind, StackPages: 4096})
+			rt.Run(func(w *W) {
+				for round := 0; round < 25; round++ {
+					waitParked(t, rt, workers-1, 10*time.Second)
+					release := make(chan struct{})
+					var fr Frame
+					w.Init(&fr)
+					// Forked first, so it sits at the TOP of the deque:
+					// only a woken thief can take it while the owner is
+					// stuck inside the blocker below.
+					w.Fork(&fr, func(*W) { close(release) })
+					w.Fork(&fr, func(*W) { <-release })
+					w.Join(&fr)
+				}
+			})
+		})
+	}
+}
+
+// TestParkWakeStressBursts alternates idle phases (letting thieves walk
+// the whole backoff ladder and park) with fork bursts, across GOMAXPROCS
+// settings — the interleavings the wake protocol must survive.
+func TestParkWakeStressBursts(t *testing.T) {
+	for _, procs := range []int{2, 4} {
+		procs := procs
+		t.Run(map[int]string{2: "gomaxprocs2", 4: "gomaxprocs4"}[procs], func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			rt := NewRuntime(Config{Workers: 4, StackPages: 4096})
+			var leaves atomic.Int64
+			rt.Run(func(w *W) {
+				for round := 0; round < 40; round++ {
+					if round%4 == 0 {
+						// Idle long enough for thieves to park.
+						deadline := time.Now().Add(time.Second)
+						for rt.park.parked() == 0 && time.Now().Before(deadline) {
+							time.Sleep(50 * time.Microsecond)
+						}
+					}
+					var fr Frame
+					w.Init(&fr)
+					for i := 0; i < 16; i++ {
+						w.Fork(&fr, func(*W) { leaves.Add(1) })
+					}
+					w.Join(&fr)
+				}
+			})
+			if got := leaves.Load(); got != 40*16 {
+				t.Fatalf("leaves = %d, want %d", got, 40*16)
+			}
+		})
+	}
+}
+
+// TestSerialWorkloadThievesGoQuiet pins the CPU-burn win: on a workload
+// whose bottom is serial (no forks at all), thieves must park rather than
+// spin, so the steal-attempt counter stays at zero — the seed runtime
+// accumulated thousands of attempts per idle millisecond here.
+func TestSerialWorkloadThievesGoQuiet(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4, StackPages: 4096})
+	var parkedSeen bool
+	rt.Run(func(w *W) {
+		// Serial bottom: plain Calls and real elapsed time, no forks.
+		for i := 0; i < 20; i++ {
+			w.Call(func(*W) { time.Sleep(2 * time.Millisecond) })
+			if rt.park.parked() == len(rt.workers)-1 {
+				parkedSeen = true
+			}
+		}
+	})
+	if !parkedSeen {
+		t.Error("thieves never all parked during a serial workload")
+	}
+	if st := rt.Stats(); st.StealAttempts != 0 {
+		t.Errorf("StealAttempts = %d on a forkless workload, want 0 "+
+			"(every deque stays visibly empty)", st.StealAttempts)
+	}
+}
+
+// TestParkedThievesWakeForLateWork verifies a thief parked early in a run
+// still participates later: after the parked phase, a burst of
+// slow tasks must see at least one steal (a thief resumed work).
+func TestParkedThievesWakeForLateWork(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4, StackPages: 4096})
+	rt.Run(func(w *W) {
+		waitParked(t, rt, 3, 10*time.Second)
+		var fr Frame
+		w.Init(&fr)
+		for i := 0; i < 8; i++ {
+			w.Fork(&fr, func(*W) { time.Sleep(time.Millisecond) })
+		}
+		w.Join(&fr)
+	})
+	if st := rt.Stats(); st.Steals == 0 {
+		t.Error("no steals after wake: parked thieves never rejoined the computation")
+	}
+}

@@ -134,12 +134,66 @@ func (s Strategy) suspends() bool {
 	return true
 }
 
+// DequeKind selects the work-stealing deque implementation behind each
+// worker slot.
+type DequeKind int
+
+const (
+	// DequeTHE is the Cilk-5 THE protocol deque (lock-free owner fast
+	// path, mutex-serialized thieves) — the deque the paper's runtime
+	// uses, and the default.
+	DequeTHE DequeKind = iota
+	// DequeChaseLev is the lock-free Chase–Lev deque: thieves synchronize
+	// with a single CAS instead of a mutex, so the steal path scales under
+	// thief contention, at the cost of one allocation per Fork (entries
+	// are boxed; see deque.ChaseLev).
+	DequeChaseLev
+)
+
+// String returns the deque kind's display name as used in benchmarks.
+func (k DequeKind) String() string {
+	switch k {
+	case DequeTHE:
+		return "the"
+	case DequeChaseLev:
+		return "chaselev"
+	default:
+		return fmt.Sprintf("DequeKind(%d)", int(k))
+	}
+}
+
+// DequeKinds lists every implemented deque kind, in presentation order.
+func DequeKinds() []DequeKind { return []DequeKind{DequeTHE, DequeChaseLev} }
+
+// taskDeque abstracts over the deque implementations so every strategy —
+// including the restricted-stealing ones, which need StealIf — runs
+// unchanged on either. Push and Pop are owner-only; Steal, StealIf and Len
+// may be called from any goroutine.
+type taskDeque interface {
+	Push(task)
+	Pop() (task, bool)
+	Steal() (task, bool)
+	StealIf(func(task) bool) (task, bool)
+	Len() int
+}
+
+func newTaskDeque(k DequeKind) taskDeque {
+	if k == DequeChaseLev {
+		return &deque.ChaseLev[task]{}
+	}
+	return &deque.Deque[task]{}
+}
+
 // Config parameterizes a Runtime.
 type Config struct {
 	// Workers is the number of worker slots P. Defaults to GOMAXPROCS.
 	Workers int
 	// Strategy selects the scheduling policy. Default StrategyFibril.
 	Strategy Strategy
+	// Deque selects the work-stealing deque implementation. DequeTHE (the
+	// default) matches the paper's runtime; DequeChaseLev makes the steal
+	// path lock-free.
+	Deque DequeKind
 	// StackPages is the size of each simulated stack. Default
 	// stack.DefaultStackPages (1 MB of 4 KB pages, as in the paper).
 	StackPages int
@@ -183,11 +237,14 @@ func (c Config) withDefaults() Config {
 
 // worker is one worker slot: Listing 3's worker_t, a (deque, stack) pair.
 // The stack half lives on the goroutine currently occupying the slot (see
-// package comment); the slot itself carries the deque and the steal RNG.
+// package comment); the slot itself carries the deque, the steal RNG, and
+// the slot's victim-locality hint. Only the occupying goroutine touches
+// rng and lastVictim.
 type worker struct {
-	id    int
-	deque deque.Deque[task]
-	rng   rng
+	id         int
+	deque      taskDeque
+	rng        rng
+	lastVictim int // most recent successful victim slot; -1 when none
 }
 
 // task is a forked child waiting in a deque.
@@ -217,6 +274,7 @@ type Runtime struct {
 
 	workers []*worker
 	done    atomic.Bool
+	park    *parkLot
 
 	goroutineWG sync.WaitGroup // live thief goroutines (for Wait)
 
@@ -224,7 +282,9 @@ type Runtime struct {
 	// re-raises it after an orderly shutdown.
 	rootPanic atomic.Pointer[TaskPanic]
 
-	stats runtimeCounters
+	// stats holds one counter shard per worker slot plus a spare shard for
+	// slotless workers; see counterShard for the de-contention rationale.
+	stats []counterShard
 }
 
 // NewRuntime creates a runtime with the given configuration. The runtime
@@ -236,11 +296,18 @@ func NewRuntime(cfg Config) *Runtime {
 		cfg:  cfg,
 		as:   as,
 		pool: stack.NewPool(as, cfg.StackPages, cfg.StackLimit),
+		park: newParkLot(),
 	}
 	rt.workers = make([]*worker, cfg.Workers)
 	for i := range rt.workers {
-		rt.workers[i] = &worker{id: i, rng: newRNG(cfg.Seed + uint64(i)*0x1234567)}
+		rt.workers[i] = &worker{
+			id:         i,
+			deque:      newTaskDeque(cfg.Deque),
+			rng:        newRNG(cfg.Seed + uint64(i)*0x1234567),
+			lastVictim: -1,
+		}
 	}
+	rt.stats = make([]counterShard, cfg.Workers+1)
 	return rt
 }
 
@@ -258,6 +325,7 @@ func (rt *Runtime) Run(root func(*W)) Stats {
 		return rt.runGoroutine(root)
 	}
 	rt.done.Store(false)
+	rt.park.open()
 
 	// Slot 0 hosts the root; the other P-1 slots start as thieves.
 	for i := 1; i < len(rt.workers); i++ {
@@ -265,14 +333,16 @@ func (rt *Runtime) Run(root func(*W)) Stats {
 		go rt.thiefLoop(rt.workers[i])
 	}
 
-	w := &W{rt: rt, slot: rt.workers[0], stack: rt.pool.Take()}
+	w := &W{rt: rt, slot: rt.workers[0], stack: rt.pool.Take(), stats: rt.shard(0)}
 	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
 	// The root has no parent frame; its completion ends the computation.
 	rt.done.Store(true)
-	rt.pool.Put(w.stack)
 
-	// Release any thief blocked in a bounded pool's Take, wait for every
-	// thief goroutine to unwind, then reopen the pool for the next Run.
+	// Wake every parked thief so it observes done, release any thief
+	// blocked in a bounded pool's Take, wait for every thief goroutine to
+	// unwind, then reopen the pool for the next Run.
+	rt.park.close()
+	rt.pool.Put(w.stack)
 	rt.pool.Close()
 	rt.goroutineWG.Wait()
 	rt.pool.Reopen()
@@ -282,23 +352,53 @@ func (rt *Runtime) Run(root func(*W)) Stats {
 	return rt.Stats()
 }
 
+// Thief backoff ladder: a thief that fails a full sweep retries
+// immediately for spinSweeps sweeps (a miss is often a transient race),
+// yields the processor for the next yieldSweeps sweeps, and then parks on
+// the runtime's park lot until the next Fork publishes work.
+const (
+	spinSweeps  = 2
+	yieldSweeps = 8
+)
+
 // thiefLoop is the body of a worker-slot goroutine that starts with no
 // work: take a stack from the pool (blocking if the pool is bounded and
 // exhausted — the Cilk Plus stall), then steal until the computation ends
-// or the slot is handed to a resumed parent.
+// or the slot is handed to a resumed parent. Failed sweeps escalate
+// through the backoff ladder instead of spinning in Gosched, so idle
+// thieves stop burning CPU while work is scarce.
 func (rt *Runtime) thiefLoop(slot *worker) {
 	defer rt.goroutineWG.Done()
 	st := rt.pool.Take()
 	if st == nil {
 		return // pool closed: the computation is over
 	}
-	w := &W{rt: rt, slot: slot, stack: st}
+	w := &W{rt: rt, slot: slot, stack: st, stats: rt.shard(slot.id)}
+	fails := 0
 	for !rt.done.Load() {
-		t, ok := rt.randomSteal(w, nil, 0)
+		t, ok := rt.randomSteal(w, nil)
 		if !ok {
-			runtime.Gosched()
-			continue
+			fails++
+			switch {
+			case fails <= spinSweeps:
+				// Re-sweep immediately.
+			case fails <= spinSweeps+yieldSweeps:
+				runtime.Gosched()
+			default:
+				// park re-sweeps after registering as parked, so a
+				// Fork racing this sleep either is seen by that sweep
+				// or sees the registration and broadcasts (no lost
+				// wakeup — see parkLot).
+				t, ok = rt.park.park(func() (task, bool) {
+					return rt.randomSteal(w, nil)
+				})
+				fails = 0
+			}
+			if !ok {
+				continue
+			}
 		}
+		fails = 0
 		w.runStolen(t)
 		if w.released {
 			// The slot was transferred to a resumed parent; this
@@ -311,29 +411,52 @@ func (rt *Runtime) thiefLoop(slot *worker) {
 	rt.pool.Put(w.stack)
 }
 
-// randomSteal attempts one round of randomized stealing over all slots.
-// If restrict is non-nil only tasks it accepts are taken (depth-restricted
+// randomSteal attempts one round of randomized stealing over the other
+// worker slots; a thief never probes its own deque. The sweep probes the
+// slot's last successful victim first (steal locality), skips deques whose
+// Len snapshot is visibly empty, and charges the probe count to the
+// stealAttempts shard once per sweep instead of once per victim. If
+// restrict is non-nil only tasks it accepts are taken (depth-restricted
 // and leapfrog disciplines). It returns false after a full unsuccessful
-// sweep so callers can decide to yield or re-check their join condition.
-func (rt *Runtime) randomSteal(w *W, restrict func(task) bool, selfID int) (task, bool) {
+// sweep so callers can decide to back off or re-check their join
+// condition.
+func (rt *Runtime) randomSteal(w *W, restrict func(task) bool) (task, bool) {
+	self := w.slot.id
 	n := len(rt.workers)
+	probes := int64(0)
+	take := func(victim *worker) (task, bool) {
+		probes++
+		if restrict == nil {
+			return victim.deque.Steal()
+		}
+		return victim.deque.StealIf(restrict)
+	}
+	won := func(victim *worker, t task) (task, bool) {
+		w.slot.lastVictim = victim.id
+		w.stats.stealAttempts.Add(probes)
+		w.stats.steals.Add(1)
+		rt.cfg.Tracer.Record(self, trace.KindSteal, int64(victim.id))
+		return t, true
+	}
+	if lv := w.slot.lastVictim; lv >= 0 && lv != self {
+		if victim := rt.workers[lv]; victim.deque.Len() > 0 {
+			if t, ok := take(victim); ok {
+				return won(victim, t)
+			}
+		}
+	}
 	start := int(w.slot.rng.next() % uint64(n))
 	for i := 0; i < n; i++ {
 		victim := rt.workers[(start+i)%n]
-		rt.stats.stealAttempts.Add(1)
-		var t task
-		var ok bool
-		if restrict == nil {
-			t, ok = victim.deque.Steal()
-		} else {
-			t, ok = victim.deque.StealIf(restrict)
+		if victim.id == self || victim.deque.Len() == 0 {
+			continue
 		}
-		if ok {
-			rt.stats.steals.Add(1)
-			rt.cfg.Tracer.Record(w.slot.id, trace.KindSteal, int64(victim.id))
-			return t, true
+		if t, ok := take(victim); ok {
+			return won(victim, t)
 		}
 	}
+	w.slot.lastVictim = -1
+	w.stats.stealAttempts.Add(probes)
 	return task{}, false
 }
 
@@ -342,7 +465,7 @@ func (rt *Runtime) randomSteal(w *W, restrict func(task) bool, selfID int) (task
 // pooled stack, Join waits on a counter.
 func (rt *Runtime) runGoroutine(root func(*W)) Stats {
 	st := rt.pool.Take()
-	w := &W{rt: rt, stack: st}
+	w := &W{rt: rt, stack: st, stats: rt.shard(-1)}
 	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
 	rt.pool.Put(st)
 	if tp := rt.rootPanic.Swap(nil); tp != nil {

@@ -7,8 +7,14 @@ import (
 	"fibril/internal/vm"
 )
 
-// runtimeCounters are the live atomic counters of a Runtime.
-type runtimeCounters struct {
+// counterShard holds one worker slot's scheduler counters. The runtime
+// keeps one shard per slot (plus a spare for slotless goroutine-baseline
+// workers), so the fork/steal hot paths increment an uncontended counter
+// instead of ping-ponging a shared cache line across P cores; Stats
+// aggregates the shards. Each shard is padded to 128 bytes — two x86-64
+// cache lines, covering the adjacent-line prefetcher — so neighbouring
+// slots never false-share.
+type counterShard struct {
 	forks            atomic.Int64
 	calls            atomic.Int64
 	steals           atomic.Int64
@@ -19,6 +25,16 @@ type runtimeCounters struct {
 	unmaps           atomic.Int64
 	unmappedPages    atomic.Int64
 	spawnOverhead    atomic.Int64
+	_                [48]byte
+}
+
+// shard returns the counter shard for worker slot id; id -1 (slotless
+// goroutine-baseline workers) maps to the shared spare shard.
+func (rt *Runtime) shard(id int) *counterShard {
+	if id < 0 {
+		id = len(rt.stats) - 1
+	}
+	return &rt.stats[id]
 }
 
 // Stats is a snapshot of a Runtime's scheduler and memory counters — the
@@ -30,12 +46,13 @@ type Stats struct {
 	Forks            int64 // fibril_fork executions
 	Calls            int64 // synchronous Call executions
 	Steals           int64 // successful steals (Table 2 "steals")
-	StealAttempts    int64 // steal probes, successful or not
+	StealAttempts    int64 // steal probes of a visibly non-empty deque
 	RestrictedSteals int64 // inline steals by TBB/leapfrog joins
 	Suspends         int64 // frame suspensions
 	Resumes          int64 // frame resumptions
 	Unmaps           int64 // unmap operations (Table 2 "unmaps")
 	UnmappedPages    int64 // physical pages returned by those unmaps
+	SpawnOverhead    int64 // modelled spawn-prologue events (Cilk Plus, TBB)
 
 	StacksCreated int   // stacks ever mapped (Table 4 "# of stacks")
 	MaxStacksUsed int   // stacks simultaneously checked out
@@ -44,25 +61,30 @@ type Stats struct {
 	VM vm.Stats // page faults, RSS, mmap/madvise counters (Tables 2 and 4)
 }
 
-// Stats snapshots the runtime's counters.
+// Stats snapshots the runtime's counters, aggregating the per-slot shards.
 func (rt *Runtime) Stats() Stats {
-	return Stats{
-		Strategy:         rt.cfg.Strategy,
-		Workers:          rt.cfg.Workers,
-		Forks:            rt.stats.forks.Load(),
-		Calls:            rt.stats.calls.Load(),
-		Steals:           rt.stats.steals.Load(),
-		StealAttempts:    rt.stats.stealAttempts.Load(),
-		RestrictedSteals: rt.stats.restrictedSteals.Load(),
-		Suspends:         rt.stats.suspends.Load(),
-		Resumes:          rt.stats.resumes.Load(),
-		Unmaps:           rt.stats.unmaps.Load(),
-		UnmappedPages:    rt.stats.unmappedPages.Load(),
-		StacksCreated:    rt.pool.Created(),
-		MaxStacksUsed:    rt.pool.MaxInUse(),
-		PoolStalls:       rt.pool.Stalls(),
-		VM:               rt.as.Snapshot(),
+	s := Stats{
+		Strategy:      rt.cfg.Strategy,
+		Workers:       rt.cfg.Workers,
+		StacksCreated: rt.pool.Created(),
+		MaxStacksUsed: rt.pool.MaxInUse(),
+		PoolStalls:    rt.pool.Stalls(),
+		VM:            rt.as.Snapshot(),
 	}
+	for i := range rt.stats {
+		sh := &rt.stats[i]
+		s.Forks += sh.forks.Load()
+		s.Calls += sh.calls.Load()
+		s.Steals += sh.steals.Load()
+		s.StealAttempts += sh.stealAttempts.Load()
+		s.RestrictedSteals += sh.restrictedSteals.Load()
+		s.Suspends += sh.suspends.Load()
+		s.Resumes += sh.resumes.Load()
+		s.Unmaps += sh.unmaps.Load()
+		s.UnmappedPages += sh.unmappedPages.Load()
+		s.SpawnOverhead += sh.spawnOverhead.Load()
+	}
+	return s
 }
 
 // String renders a one-line summary.

@@ -14,8 +14,9 @@ import (
 // is why tasks receive a *W rather than a worker id.
 type W struct {
 	rt    *Runtime
-	slot  *worker      // current worker slot; nil in the goroutine baseline
-	stack *stack.Stack // this goroutine's simulated stack
+	slot  *worker       // current worker slot; nil in the goroutine baseline
+	stack *stack.Stack  // this goroutine's simulated stack
+	stats *counterShard // this goroutine's counter shard (uncontended)
 
 	depth    int32  // current invocation depth
 	frame    *Frame // frame of the task currently executing (nil at root)
@@ -47,7 +48,7 @@ func (w *W) Fork(f *Frame, fn func(*W)) {
 // bytes for the child.
 func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 	f.count.Add(1)
-	w.rt.stats.forks.Add(1)
+	w.stats.forks.Add(1)
 	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindFork, int64(w.depth))
 	t := task{fn: fn, frame: f, bytes: int32(bytes), depth: w.depth + 1}
 
@@ -60,7 +61,7 @@ func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 		for i := range w.scratch {
 			w.scratch[i] = uint64(bytes) + uint64(i)
 		}
-		w.rt.stats.spawnOverhead.Add(1)
+		w.stats.spawnOverhead.Add(1)
 	case StrategyTBB:
 		// TBB allocates a task object per spawn and manipulates its
 		// reference count through the scheduler — the heaviest fork path
@@ -69,13 +70,13 @@ func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 		h.refcount.Store(1)
 		h.refcount.Add(1)
 		t.heavy = h
-		w.rt.stats.spawnOverhead.Add(1)
+		w.stats.spawnOverhead.Add(1)
 	case StrategyGoroutine:
 		// Go-native baseline: a goroutine per task with its own pooled
 		// stack; no deques, nothing to steal.
 		go func() {
 			st := w.rt.pool.Take()
-			child := &W{rt: w.rt, stack: st}
+			child := &W{rt: w.rt, stack: st, stats: w.rt.shard(-1)}
 			child.exec(t)
 			w.rt.pool.Put(st)
 			child.childDone(f)
@@ -83,6 +84,10 @@ func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 		return
 	}
 	w.slot.deque.Push(t)
+	// A parked thief must be woken by any Fork so exactly P slots stay
+	// runnable whenever work exists (busy leaves). One atomic load when
+	// nobody is parked.
+	w.rt.park.wake()
 }
 
 // Call runs fn synchronously as a plain function call with a simulated
@@ -97,7 +102,7 @@ func (w *W) Call(fn func(*W)) {
 // to the caller, as in a plain function call, with the simulated frame
 // popped on the way out.
 func (w *W) CallSized(bytes int, fn func(*W)) {
-	w.rt.stats.calls.Add(1)
+	w.stats.calls.Add(1)
 	base, err := w.stack.Push(bytes)
 	if err != nil {
 		panic(fmt.Sprintf("core: stack overflow in Call: %v", err))
@@ -173,8 +178,8 @@ func (w *W) joinInlineStealing(f *Frame, eligible func(task) bool) {
 			w.runInline(t)
 			continue
 		}
-		if t, ok := w.rt.randomSteal(w, eligible, w.slot.id); ok {
-			w.rt.stats.restrictedSteals.Add(1)
+		if t, ok := w.rt.randomSteal(w, eligible); ok {
+			w.stats.restrictedSteals.Add(1)
 			w.runInline(t)
 			continue
 		}

@@ -1,44 +1,54 @@
 package deque
 
 import (
-	"sync"
 	"sync/atomic"
 )
 
-// ChaseLev is the Chase–Lev work-stealing deque ("Dynamic Circular
-// Work-Stealing Deque", SPAA 2005), the other classic alternative to the
-// Cilk THE protocol this runtime defaults to. Thieves are entirely
-// lock-free (CAS on top); the owner synchronizes with thieves only when
-// the deque may be down to its last element. Provided for comparison and
-// as a drop-in alternative; the THE Deque matches the paper's runtime.
+// ChaseLev is a lock-free Chase–Lev work-stealing deque ("Dynamic Circular
+// Work-Stealing Deque", SPAA 2005), the classic alternative to the Cilk THE
+// protocol this runtime defaults to. Thieves never take a lock: a steal is
+// one CAS on top. The owner synchronizes with thieves only when the deque
+// may be down to its last element, using the same CAS.
 //
-// Push and Pop are owner-only; Steal may be called from any goroutine.
+// Entries are boxed: Push allocates one node per element and the node is
+// immutable from publication until the GC reclaims it. That is what makes
+// the implementation safe (and race-detector-clean) without hazard pointers
+// or per-slot atomics over arbitrary T: a thief holding a stale ring or a
+// stale slot pointer only ever reads immutable memory, and the CAS on top
+// decides ownership. The cost is one small allocation per Push, which is
+// why the zero-allocation THE Deque remains the runtime's default and
+// ChaseLev is the opt-in, steal-heavy configuration.
+//
+// Ring slots consumed by thieves are not cleared (a thief must never write
+// a slot the owner may be concurrently reusing), so up to one ring's worth
+// of consumed nodes can stay reachable until the slot is overwritten or the
+// ring is dropped. The owner's Pop does clear, as it is the slot's only
+// writer.
+//
+// Push and Pop are owner-only; Steal and StealIf may be called from any
+// goroutine.
 type ChaseLev[T any] struct {
 	top    atomic.Int64 // next index to steal; only increases
 	bottom atomic.Int64 // next index to push; owner-managed
 
 	buf atomic.Pointer[clRing[T]]
-
-	// grow serializes ring replacement against concurrent thieves reading
-	// the old ring: the classic algorithm leaks or hazard-protects old
-	// rings; holding a lock only during growth and steal keeps the Go
-	// version simple while leaving the owner's fast paths lock-free.
-	grow sync.Mutex
 }
 
-// clRing is a power-of-two circular buffer.
+// clRing is a power-of-two circular buffer of boxed entries. Old rings stay
+// valid after growth — the GC reclaims them once the last stale thief drops
+// its reference — so growth needs no synchronization beyond the atomic buf
+// swap.
 type clRing[T any] struct {
 	mask int64
-	elts []T
+	elts []atomic.Pointer[T]
 }
 
 func newCLRing[T any](capacity int64) *clRing[T] {
-	return &clRing[T]{mask: capacity - 1, elts: make([]T, capacity)}
+	return &clRing[T]{mask: capacity - 1, elts: make([]atomic.Pointer[T], capacity)}
 }
 
-func (r *clRing[T]) get(i int64) T    { return r.elts[i&r.mask] }
-func (r *clRing[T]) put(i int64, v T) { r.elts[i&r.mask] = v }
-func (r *clRing[T]) size() int64      { return r.mask + 1 }
+func (r *clRing[T]) slot(i int64) *atomic.Pointer[T] { return &r.elts[i&r.mask] }
+func (r *clRing[T]) size() int64                     { return r.mask + 1 }
 
 // Push adds v at the bottom (owner only).
 func (d *ChaseLev[T]) Push(v T) {
@@ -46,16 +56,19 @@ func (d *ChaseLev[T]) Push(v T) {
 	t := d.top.Load()
 	ring := d.buf.Load()
 	if ring == nil || b-t >= ring.size() {
-		d.growRing(t, b)
-		ring = d.buf.Load()
+		ring = d.growRing(t, b)
 	}
-	ring.put(b, v)
+	p := new(T)
+	*p = v
+	ring.slot(b).Store(p)
 	d.bottom.Store(b + 1)
 }
 
-func (d *ChaseLev[T]) growRing(t, b int64) {
-	d.grow.Lock()
-	defer d.grow.Unlock()
+// growRing replaces the ring with one twice as large. Only the owner grows,
+// so no mutual exclusion is needed; concurrent thieves keep reading the old
+// ring, whose entries remain valid (stale claims are rejected by their CAS
+// on top).
+func (d *ChaseLev[T]) growRing(t, b int64) *clRing[T] {
 	old := d.buf.Load()
 	var capacity int64 = initialCapacity
 	if old != nil {
@@ -64,10 +77,11 @@ func (d *ChaseLev[T]) growRing(t, b int64) {
 	next := newCLRing[T](capacity)
 	if old != nil {
 		for i := t; i < b; i++ {
-			next.put(i, old.get(i))
+			next.slot(i).Store(old.slot(i).Load())
 		}
 	}
 	d.buf.Store(next)
+	return next
 }
 
 // Pop removes from the bottom (owner only).
@@ -82,36 +96,75 @@ func (d *ChaseLev[T]) Pop() (T, bool) {
 		return zero, false
 	}
 	ring := d.buf.Load()
-	v := ring.get(b)
+	slot := ring.slot(b)
+	p := slot.Load()
 	if t == b {
 		// Last element: race a thief for it with the same CAS they use.
 		if !d.top.CompareAndSwap(t, t+1) {
-			v = zero // thief won
+			// Thief won; it will read the slot itself.
 			d.bottom.Store(b + 1)
 			return zero, false
 		}
 		d.bottom.Store(b + 1)
-		return v, true
+		slot.Store(nil) // release for GC; owner is the slot's only writer
+		return *p, true
 	}
-	return v, true
+	slot.Store(nil)
+	return *p, true
 }
 
-// Steal removes from the top (any goroutine).
+// Steal removes from the top (any goroutine). Lock-free: one CAS decides.
 func (d *ChaseLev[T]) Steal() (T, bool) {
 	var zero T
-	d.grow.Lock() // protects the ring pointer; see type comment
-	defer d.grow.Unlock()
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if t >= b {
 		return zero, false
 	}
 	ring := d.buf.Load()
-	v := ring.get(t)
+	p := ring.slot(t).Load()
+	if p == nil {
+		// The owner consumed index t (and cleared the slot) after our
+		// bottom load; the CAS below would fail anyway.
+		return zero, false
+	}
 	if !d.top.CompareAndSwap(t, t+1) {
 		return zero, false // lost to the owner's last-element pop or another thief
 	}
-	return v, true
+	// p may be stale only if the owner reused the slot for index t+size,
+	// which requires it to have observed top > t — impossible before our
+	// successful CAS. So a winning CAS guarantees p is index t's entry,
+	// and entries are immutable after publication.
+	return *p, true
+}
+
+// StealIf steals the top entry only if pred accepts it, leaving the deque
+// untouched otherwise — the restricted-stealing hook (TBB depth restriction,
+// leapfrogging) shared with the THE Deque. Unlike THE's claim-then-inspect,
+// the lock-free version inspects first: entries are immutable once
+// published, so reading the candidate before the CAS is safe, and a stale
+// read is caught by the CAS failing. A rejection by pred on a lost race is
+// indistinguishable from the entry being taken by someone else, which is
+// the same observable behaviour as the THE implementation.
+func (d *ChaseLev[T]) StealIf(pred func(T) bool) (T, bool) {
+	var zero T
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return zero, false
+	}
+	ring := d.buf.Load()
+	p := ring.slot(t).Load()
+	if p == nil {
+		return zero, false
+	}
+	if !pred(*p) {
+		return zero, false
+	}
+	if !d.top.CompareAndSwap(t, t+1) {
+		return zero, false
+	}
+	return *p, true
 }
 
 // Len reports a racy size snapshot.

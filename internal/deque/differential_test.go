@@ -1,0 +1,195 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// stealIfAPI is the full restricted-stealing surface the scheduler's deque
+// abstraction requires; both implementations must satisfy it.
+type stealIfAPI[T any] interface {
+	dequeAPI[T]
+	StealIf(func(T) bool) (T, bool)
+}
+
+var (
+	_ stealIfAPI[int] = (*Deque[int])(nil)
+	_ stealIfAPI[int] = (*ChaseLev[int])(nil)
+)
+
+// TestQuickDifferentialTHEvsChaseLev pins the tentpole equivalence: any
+// single-threaded interleaving of Push/Pop/Steal/StealIf — the exact
+// operation set the scheduler issues — produces identical results and
+// identical deque contents on the THE and Chase–Lev implementations, so
+// swapping Config.Deque cannot change scheduling semantics.
+func TestQuickDifferentialTHEvsChaseLev(t *testing.T) {
+	preds := []func(int) bool{
+		func(int) bool { return true },
+		func(int) bool { return false },
+		func(v int) bool { return v%2 == 0 },
+		func(v int) bool { return v%5 != 0 },
+	}
+	prop := func(ops []uint8) bool {
+		a := &Deque[int]{}
+		b := &ChaseLev[int]{}
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				a.Push(next)
+				b.Push(next)
+				next++
+			case 1:
+				av, aok := a.Pop()
+				bv, bok := b.Pop()
+				if av != bv || aok != bok {
+					return false
+				}
+			case 2:
+				av, aok := a.Steal()
+				bv, bok := b.Steal()
+				if av != bv || aok != bok {
+					return false
+				}
+			case 3:
+				pred := preds[int(op/4)%len(preds)]
+				av, aok := a.StealIf(pred)
+				bv, bok := b.StealIf(pred)
+				if av != bv || aok != bok {
+					return false
+				}
+			}
+			if a.Len() != b.Len() {
+				return false
+			}
+		}
+		// Drain both and compare remaining contents end to end.
+		for {
+			av, aok := a.Steal()
+			bv, bok := b.Steal()
+			if av != bv || aok != bok {
+				return false
+			}
+			if !aok {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChaseLevStealIf mirrors the THE StealIf semantics tests: a rejected
+// candidate leaves the deque untouched, and the predicate is only ever
+// offered the top entry.
+func TestChaseLevStealIf(t *testing.T) {
+	d := &ChaseLev[int]{}
+	if _, ok := d.StealIf(func(int) bool { return true }); ok {
+		t.Fatal("StealIf on empty deque succeeded")
+	}
+	for i := 0; i < 5; i++ {
+		d.Push(i)
+	}
+	if _, ok := d.StealIf(func(v int) bool { return v > 100 }); ok {
+		t.Fatal("StealIf stole a rejected entry")
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d after rejection, want 5", d.Len())
+	}
+	v, ok := d.StealIf(func(v int) bool { return v == 0 })
+	if !ok || v != 0 {
+		t.Fatalf("StealIf = %d,%v, want 0,true", v, ok)
+	}
+	// The next top is 1; a predicate matching only 2 must not skip over it.
+	if _, ok := d.StealIf(func(v int) bool { return v == 2 }); ok {
+		t.Fatal("StealIf skipped past the top entry")
+	}
+	d.Push(5)
+	d.Pop()
+	d.Pop()
+	d.Pop()
+	d.Pop() // drained down to {1}
+	if v, ok := d.StealIf(func(v int) bool { return v == 1 }); !ok || v != 1 {
+		t.Fatalf("StealIf on last entry = %d,%v, want 1,true", v, ok)
+	}
+	if _, ok := d.StealIf(func(int) bool { return true }); ok {
+		t.Fatal("StealIf on drained deque succeeded")
+	}
+}
+
+// TestChaseLevStealIfConcurrentNoLossNoDup is the ChaseLev twin of the THE
+// predicate-thief safety test: an owner popping and pushing against racing
+// predicate thieves, exactly-once consumption.
+func TestChaseLevStealIfConcurrentNoLossNoDup(t *testing.T) {
+	const total = 20000
+	d := &ChaseLev[int]{}
+	seen := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+	record := func(v int) {
+		if seen[v].Add(1) != 1 {
+			t.Errorf("value %d consumed twice", v)
+		}
+		consumed.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(parity int) {
+			defer wg.Done()
+			pred := func(v int) bool { return v%2 == parity }
+			for {
+				if v, ok := d.StealIf(pred); ok {
+					record(v)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(v)
+					}
+				default:
+				}
+			}
+		}(i % 2)
+	}
+
+	for v := 0; v < total; {
+		for i := 0; i < 1+v%5 && v < total; i++ {
+			d.Push(v)
+			v++
+		}
+		if v%2 == 0 {
+			if got, ok := d.Pop(); ok {
+				record(got)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	if got := consumed.Load(); got != total {
+		t.Errorf("consumed %d, want %d", got, total)
+	}
+}

@@ -1,0 +1,94 @@
+package exper
+
+import (
+	"fibril/internal/bench"
+	"fibril/internal/core"
+	"fibril/internal/table"
+)
+
+// StealPathRow is one measurement of the steal-path experiment, shaped for
+// machine consumption (-json): per-fork wall cost on the real runtime plus
+// the steal counters that expose thief contention and idle burn.
+type StealPathRow struct {
+	Benchmark     string  `json:"benchmark"`
+	Strategy      string  `json:"strategy"`
+	Deque         string  `json:"deque"`
+	Workers       int     `json:"p"`
+	NsPerFork     float64 `json:"ns_op"`
+	Steals        int64   `json:"steals"`
+	StealAttempts int64   `json:"steal_attempts"`
+}
+
+// stealPathBenches are steal-heavy workloads: fine-grained fib and the
+// irregular nqueens tree keep every thief busy probing.
+var stealPathBenches = []string{"fib", "nqueens"}
+
+// StealPath measures the fork/steal hot path of the real runtime across
+// strategy × deque-kind combinations: a suspending strategy (Fibril, the
+// plain Steal path) and an inline-stealing one (TBB, the StealIf path),
+// each on the THE and Chase–Lev deques. The per-fork nanosecond cost is
+// the Figure 3 quantity; steals and stealAttempts make contention and
+// idle-thief burn visible run over run.
+func StealPath(o Options) ([]StealPathRow, *table.Table) {
+	o = o.withDefaults()
+	workers := o.Workers
+	if workers == 0 {
+		// The steal path only contends with P >= 4 thieves; goroutine
+		// interleaving exercises it even on small hosts.
+		workers = 4
+	}
+	t := &table.Table{
+		Title: "Steal path: per-fork cost and steal counters (real runtime)",
+		Header: []string{"benchmark", "strategy", "deque", "P", "ns/fork",
+			"steals", "stealAttempts"},
+	}
+	var rows []StealPathRow
+	for _, name := range stealPathBenches {
+		if len(o.Benches) > 0 && !benchListed(o.Benches, name) {
+			continue
+		}
+		s := bench.Get(name)
+		a := s.Default
+		for _, strat := range []core.Strategy{core.StrategyFibril, core.StrategyTBB} {
+			for _, kind := range core.DequeKinds() {
+				rt := core.NewRuntime(core.Config{
+					Workers: workers, Strategy: strat, Deque: kind,
+					StackPages: 4096,
+				})
+				summary := timeIt(o.Reps, func() {
+					rt.Run(func(w *core.W) { s.Parallel(w, a) })
+				})
+				// Counters accumulate across the reps runs on one
+				// Runtime; report per-run values.
+				st := rt.Stats()
+				reps := int64(o.Reps)
+				forksPerRun := st.Forks / reps
+				if forksPerRun == 0 {
+					forksPerRun = 1
+				}
+				row := StealPathRow{
+					Benchmark:     name,
+					Strategy:      strat.String(),
+					Deque:         kind.String(),
+					Workers:       workers,
+					NsPerFork:     summary.Mean * 1e9 / float64(forksPerRun),
+					Steals:        st.Steals / reps,
+					StealAttempts: st.StealAttempts / reps,
+				}
+				rows = append(rows, row)
+				t.Add(row.Benchmark, row.Strategy, row.Deque, row.Workers,
+					int64(row.NsPerFork), row.Steals, row.StealAttempts)
+			}
+		}
+	}
+	return rows, t
+}
+
+func benchListed(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
