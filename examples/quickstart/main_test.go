@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"fibril"
+)
+
+// TestQuickstartSmoke execs the example exactly as README tells a user to
+// run it and asserts the output it promises: the parfib result line (the
+// binary self-checks against serial fib and exits 1 on mismatch) and the
+// scheduler counter line.
+func TestQuickstartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the example; skipped in short mode")
+	}
+	cmd := exec.Command("go", "run", ".", "-n", "20", "-workers", "2")
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "parfib(20) = 6765") {
+		t.Errorf("output lacks the fib(20) result:\n%s", s)
+	}
+	if !strings.Contains(s, "scheduler:") {
+		t.Errorf("output lacks the scheduler stats line:\n%s", s)
+	}
+	if strings.Contains(s, "MISMATCH") {
+		t.Errorf("quickstart reported a result mismatch:\n%s", s)
+	}
+}
+
+// TestParfibUnit runs the example's kernel in-process so the example code
+// itself is covered even in short mode.
+func TestParfibUnit(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		rt := fibril.New(fibril.Config{Workers: workers})
+		var result int64
+		rt.Run(func(w *fibril.W) { parfib(w, 20, &result) })
+		if result != 6765 {
+			t.Fatalf("parfib(20) P=%d = %d, want 6765", workers, result)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package fibril_test
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -94,4 +96,103 @@ func ExampleNew() {
 	})
 	fmt.Println(sum.Load())
 	// Output: 10
+}
+
+// TestConfigSingleWorker pins the serial degenerate case: with one worker
+// there is no thief, so the run must complete with zero steals and zero
+// suspensions — the scheduler reduces to the C elision.
+func TestConfigSingleWorker(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 1})
+	var result int64
+	stats := rt.Run(func(w *fibril.W) { parfib(w, 18, &result) })
+	if result != 2584 {
+		t.Fatalf("parfib(18) = %d, want 2584", result)
+	}
+	if stats.Steals != 0 || stats.Suspends != 0 {
+		t.Errorf("P=1 run recorded steals=%d suspends=%d, want 0/0", stats.Steals, stats.Suspends)
+	}
+	if stats.Workers != 1 {
+		t.Errorf("Stats.Workers = %d, want 1", stats.Workers)
+	}
+}
+
+// TestConfigOversubscribed runs with more workers than GOMAXPROCS: the
+// runtime must still produce the right answer (thieves time-slice).
+func TestConfigOversubscribed(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0) * 4
+	rt := fibril.New(fibril.Config{Workers: workers})
+	var result int64
+	stats := rt.Run(func(w *fibril.W) { parfib(w, 20, &result) })
+	if result != 6765 {
+		t.Fatalf("parfib(20) with %d workers = %d, want 6765", workers, result)
+	}
+	if stats.Workers != workers {
+		t.Errorf("Stats.Workers = %d, want %d", stats.Workers, workers)
+	}
+}
+
+// TestConfigDequeKinds drives both deque implementations through the
+// public façade and requires identical results.
+func TestConfigDequeKinds(t *testing.T) {
+	for _, dk := range fibril.DequeKinds() {
+		rt := fibril.New(fibril.Config{Workers: 4, Deque: dk})
+		var result int64
+		rt.Run(func(w *fibril.W) { parfib(w, 22, &result) })
+		if result != 17711 {
+			t.Errorf("deque %v: parfib(22) = %d, want 17711", dk, result)
+		}
+	}
+}
+
+// TestPanicPropagatesFromRun pins the panic contract at the API boundary:
+// a panic in a forked task resurfaces from Run as a *fibril.TaskPanic
+// carrying the original value, errors.As can unwrap error values, and the
+// runtime is reusable afterwards.
+func TestPanicPropagatesFromRun(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 2})
+	boom := errors.New("boom")
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		rt.Run(func(w *fibril.W) {
+			var fr fibril.Frame
+			w.Init(&fr)
+			w.Fork(&fr, func(*fibril.W) { panic(boom) })
+			w.Join(&fr)
+		})
+	}()
+	tp, ok := recovered.(*fibril.TaskPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *fibril.TaskPanic", recovered, recovered)
+	}
+	if tp.Value != boom {
+		t.Errorf("TaskPanic.Value = %v, want %v", tp.Value, boom)
+	}
+	if !errors.Is(tp, boom) {
+		t.Error("errors.Is(TaskPanic, boom) = false, want true")
+	}
+	// The runtime must have quiesced cleanly and be usable again.
+	var result int64
+	rt.Run(func(w *fibril.W) { parfib(w, 15, &result) })
+	if result != 610 {
+		t.Errorf("post-panic reuse: parfib(15) = %d, want 610", result)
+	}
+}
+
+// TestPanicFromRootTask checks the root-task path: a panic that never
+// crosses a Join still surfaces from Run wrapped in TaskPanic.
+func TestPanicFromRootTask(t *testing.T) {
+	rt := fibril.New(fibril.Config{Workers: 2})
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		rt.Run(func(w *fibril.W) { panic("root boom") })
+	}()
+	tp, ok := recovered.(*fibril.TaskPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *fibril.TaskPanic", recovered, recovered)
+	}
+	if tp.Value != "root boom" {
+		t.Errorf("TaskPanic.Value = %v, want \"root boom\"", tp.Value)
+	}
 }

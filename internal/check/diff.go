@@ -1,0 +1,83 @@
+package check
+
+import (
+	"errors"
+
+	"fibril/internal/core"
+)
+
+// Options selects the executor matrix Differential runs a program through.
+// The zero value takes the defaults documented on each field.
+type Options struct {
+	// Workers are the real-runtime worker counts. Default {1, 2, 4}.
+	Workers []int
+	// Deques are the real-runtime deque kinds. Default both.
+	Deques []core.DequeKind
+	// Strategies are the scheduling strategies, applied to the real runtime
+	// and the simulators. Default {Fibril}.
+	Strategies []core.Strategy
+	// SimWorkers are the simulator worker counts, run with both the
+	// help-first and the work-first engine. Default {1, 3}; nil-able via
+	// NoSim.
+	SimWorkers []int
+	// NoSim disables the simulator legs (used for panic-injected programs,
+	// which the simulator does not model, and by fuzz targets that only
+	// exercise the real runtime).
+	NoSim bool
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4}
+	}
+	if len(o.Deques) == 0 {
+		o.Deques = core.DequeKinds()
+	}
+	if len(o.Strategies) == 0 {
+		o.Strategies = []core.Strategy{core.StrategyFibril}
+	}
+	if len(o.SimWorkers) == 0 {
+		o.SimWorkers = []int{1, 3}
+	}
+	return o
+}
+
+// Differential executes the program across the full executor matrix —
+// real runtime × strategies × deque kinds × worker counts, plus both
+// simulator engines — and checks every oracle against every execution.
+// Exactly-once execution on each leg implies all legs computed the same
+// multiset of leaf executions, which is the differential guarantee. The
+// returned error joins every violation, each tagged with the executor
+// label and the replayable seed; nil means fully conformant.
+func Differential(p *Program, opts Options) error {
+	opts = opts.withDefaults()
+	m := p.Metrics()
+	var errs []error
+
+	for _, strat := range opts.Strategies {
+		for _, dk := range opts.Deques {
+			for _, workers := range opts.Workers {
+				e := RunReal(p, workers, dk, strat)
+				if p.Panics > 0 {
+					errs = append(errs, CheckRealPanic(p, e))
+				} else {
+					errs = append(errs, CheckReal(p, m, e))
+				}
+			}
+		}
+		if opts.NoSim || p.Panics > 0 {
+			continue
+		}
+		for _, workers := range opts.SimWorkers {
+			for _, workFirst := range []bool{false, true} {
+				e, err := RunSim(p, workers, workFirst, strat)
+				if err != nil {
+					errs = append(errs, err)
+					continue
+				}
+				errs = append(errs, CheckSim(p, m, e))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,46 @@
+package check
+
+import (
+	"testing"
+
+	"fibril/internal/core"
+)
+
+// FuzzScheduler feeds fuzz-chosen (seed, shape-parameter) pairs through
+// the full differential harness: the fuzzer explores the generator's
+// parameter space while the oracles judge every execution. Run with
+//
+//	go test -fuzz=FuzzScheduler -fuzztime=30s ./internal/check/
+//
+// A crasher's corpus file pins (seed, params); the failure message also
+// names the seed for replay via `go run ./cmd/fibril-check -seed N`.
+func FuzzScheduler(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0), uint8(0), uint8(0), false)
+	f.Add(uint64(7), uint8(3), uint8(2), uint8(50), uint8(10), false)
+	f.Add(uint64(42), uint8(9), uint8(7), uint8(100), uint8(0), false)
+	f.Add(uint64(0xdeadbeef), uint8(5), uint8(1), uint8(0), uint8(40), true)
+	f.Add(uint64(1<<63), uint8(11), uint8(4), uint8(20), uint8(1), false)
+	f.Fuzz(func(t *testing.T, seed uint64, depth, fanout, loopPct, maxWork uint8, panics bool) {
+		params := Params{
+			// Small node budget keeps one iteration well under a
+			// millisecond so the fuzzer gets real throughput.
+			MaxNodes:  60,
+			MaxDepth:  int(depth%12) + 1,
+			MaxFanout: int(fanout%8) + 1,
+			LoopPct:   int(loopPct) % 101,
+			MaxWork:   int64(maxWork%64) + 1,
+		}
+		if panics {
+			params.PanicPct = 25
+		}
+		p := Generate(seed, params)
+		opts := Options{
+			Workers:    []int{2},
+			Deques:     core.DequeKinds(),
+			SimWorkers: []int{2},
+		}
+		if err := Differential(p, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package check
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"fibril/internal/core"
+	"fibril/internal/invoke"
+	"fibril/internal/sim"
+)
+
+// harnessStackPages sizes the simulated stacks used by the harness's
+// executors. Generated programs bound their frame bytes, but the
+// help-first inline drain can nest frames beyond the serial depth, so the
+// harness uses 4 MB stacks (vs the 1 MB default) to keep stack overflow —
+// which the runtime treats as fatal — out of the reachable state space.
+const harnessStackPages = 1024
+
+// sink defeats dead-code elimination of the spin loops without racing.
+var sink atomic.Uint64
+
+// spin burns roughly `units` of CPU, the real-runtime analogue of an
+// invoke.Seg's abstract work. Varying, nonzero durations are what open the
+// steal/suspend race windows the harness exists to explore.
+func spin(units int64) {
+	x := uint64(units)*0x9E3779B97F4A7C15 | 1
+	for i := int64(0); i < units*16; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	sink.Store(x)
+}
+
+// InjectedPanic is the value a panic-injected leaf throws; the harness
+// asserts it resurfaces from Run wrapped in a *core.TaskPanic.
+type InjectedPanic struct {
+	Seed uint64
+	Node int
+}
+
+func (ip InjectedPanic) Error() string {
+	return fmt.Sprintf("check: injected panic at node %d (seed %#x)", ip.Node, ip.Seed)
+}
+
+// Body compiles the program to a real-runtime task body. Executions are
+// recorded in counts (one slot per node ID, atomically — thieves run
+// nodes concurrently), which the exactly-once oracle inspects afterwards.
+func (p *Program) Body(counts []uint32) func(*core.W) {
+	return p.compile(p.Root, counts)
+}
+
+func (p *Program) compile(n *Node, counts []uint32) func(*core.W) {
+	type cseg struct {
+		work      int64
+		call      func(*core.W)
+		callBytes int
+		fork      func(*core.W)
+		forkBytes int
+		join      bool
+	}
+	segs := make([]cseg, len(n.Segs))
+	for i, s := range n.Segs {
+		segs[i].work = s.Work
+		segs[i].join = s.Join
+		if s.Call != nil {
+			segs[i].call = p.compile(s.Call, counts)
+			segs[i].callBytes = s.Call.Frame
+		}
+		if s.Fork != nil {
+			segs[i].fork = p.compile(s.Fork, counts)
+			segs[i].forkBytes = s.Fork.Frame
+		}
+	}
+	hasFork := n.forks()
+	id, seed, doPanic := n.ID, p.Seed, n.Panic
+	return func(w *core.W) {
+		atomic.AddUint32(&counts[id], 1)
+		var fr core.Frame
+		if hasFork {
+			w.Init(&fr)
+		}
+		forked := false
+		for i := range segs {
+			s := &segs[i]
+			if s.work > 0 {
+				spin(s.work)
+			}
+			if s.call != nil {
+				w.CallSized(s.callBytes, s.call)
+			}
+			if s.fork != nil {
+				w.ForkSized(&fr, s.forkBytes, s.fork)
+				forked = true
+			}
+			if s.join && forked {
+				w.Join(&fr)
+				forked = false
+			}
+		}
+		if forked {
+			w.Join(&fr)
+		}
+		if doPanic {
+			panic(InjectedPanic{Seed: seed, Node: id})
+		}
+	}
+}
+
+// RealExec is the observable outcome of one real-runtime execution.
+type RealExec struct {
+	Label     string
+	Counts    []uint32 // executions per node ID
+	Stats     core.Stats
+	Queued    int // tasks left in deques at quiescence (must be 0)
+	Parked    int // thieves still parked at quiescence (must be 0)
+	MaxHW     int // largest per-stack high-water mark, in pages
+	Recovered any // value recovered from Run, if it panicked
+}
+
+// RunReal executes the program on a fresh real runtime and snapshots
+// everything the oracles need. The runtime's steal RNG is seeded from the
+// program seed (decorrelated by a constant) so executions are as
+// reproducible as goroutine scheduling allows.
+func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy) RealExec {
+	e := RealExec{
+		Label:  fmt.Sprintf("real/%v/%v/P=%d", strat, dk, workers),
+		Counts: make([]uint32, p.Nodes),
+	}
+	rt := core.NewRuntime(core.Config{
+		Workers:    workers,
+		Strategy:   strat,
+		Deque:      dk,
+		FrameBytes: p.Root.Frame, // the root task charges its own frame
+		StackPages: harnessStackPages,
+		Seed:       p.Seed ^ 0xC0FFEE,
+	})
+	body := p.Body(e.Counts)
+	func() {
+		defer func() { e.Recovered = recover() }()
+		rt.Run(body)
+	}()
+	e.Stats = rt.Stats()
+	e.Queued = rt.QueuedTasks()
+	e.Parked = rt.ParkedThieves()
+	e.MaxHW = rt.MaxStackHighWaterPages()
+	return e
+}
+
+// SimExec is the observable outcome of one simulator execution.
+type SimExec struct {
+	Label     string
+	Counts    []uint32 // executions per node ID, via the OnTask hook
+	Res       sim.Result
+	WorkFirst bool
+}
+
+// RunSim executes the program's invocation tree on a simulator engine.
+// A simulator deadlock (its internal panic) is converted into a violation
+// error rather than crashing the harness, since for the harness a deadlock
+// is a finding, not a fatal condition.
+func RunSim(p *Program, workers int, workFirst bool, strat core.Strategy) (e SimExec, err error) {
+	engine := "helpfirst"
+	if workFirst {
+		engine = "workfirst"
+	}
+	e = SimExec{
+		Label:     fmt.Sprintf("sim/%s/%v/P=%d", engine, strat, workers),
+		Counts:    make([]uint32, p.Nodes),
+		WorkFirst: workFirst,
+	}
+	cfg := sim.Config{
+		Workers:    workers,
+		Strategy:   strat,
+		StackPages: harnessStackPages,
+		Seed:       p.Seed ^ 0xFACADE,
+		WorkFirst:  workFirst,
+		OnTask: func(t invoke.Task) {
+			if t.Key < 1 || t.Key > uint64(len(e.Counts)) {
+				err = fmt.Errorf("%s: executed task with unknown key %d", e.Label, t.Key)
+				return
+			}
+			e.Counts[t.Key-1]++
+		},
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("%s: simulator fault: %v", e.Label, v)
+		}
+	}()
+	e.Res = sim.Run(cfg, p.Tree())
+	return e, err
+}

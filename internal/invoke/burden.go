@@ -108,6 +108,8 @@ func analyzeBurdened(t Task, b Burden, memo map[uint64]BurdenedMetrics) Burdened
 			bSpine += cm.BurdenedSpan
 			m.Tasks += cm.Tasks
 			m.Forks += cm.Forks
+			m.Calls += cm.Calls + 1
+			m.Leaves += cm.Leaves
 			maxChild = max64(maxChild, cm.MaxStackBytes)
 			depthF = maxInt(depthF, cm.FibrilDepth)
 			depthC = maxInt(depthC, cm.CallDepth)
@@ -122,6 +124,8 @@ func analyzeBurdened(t Task, b Burden, memo map[uint64]BurdenedMetrics) Burdened
 			bOpenMax = max64(bOpenMax, bSpine+cm.BurdenedSpan+b.Steal)
 			m.Tasks += cm.Tasks
 			m.Forks += cm.Forks + 1
+			m.Calls += cm.Calls
+			m.Leaves += cm.Leaves
 			maxChild = max64(maxChild, cm.MaxStackBytes)
 			depthF = maxInt(depthF, cm.FibrilDepth)
 			depthC = maxInt(depthC, cm.CallDepth)
@@ -143,6 +147,9 @@ func analyzeBurdened(t Task, b Burden, memo map[uint64]BurdenedMetrics) Burdened
 	}
 	m.FibrilDepth = self + depthF
 	m.CallDepth = 1 + depthC
+	if m.Tasks == 1 { // no call or fork edges anywhere below: a leaf
+		m.Leaves = 1
+	}
 	if t.Key != 0 {
 		memo[t.Key] = m
 	}

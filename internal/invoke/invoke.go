@@ -62,6 +62,8 @@ type Metrics struct {
 	CallDepth     int   // max frames of any kind on a root-to-leaf path
 	Tasks         int64 // number of function instances
 	Forks         int64 // number of fork edges
+	Calls         int64 // number of synchronous call edges
+	Leaves        int64 // function instances with no call or fork edges
 }
 
 // Parallelism returns T1/T∞.
@@ -110,6 +112,8 @@ func analyze(t Task, memo map[uint64]Metrics) Metrics {
 			spine += cm.Span // inline: the call's span lies on the spine
 			m.Tasks += cm.Tasks
 			m.Forks += cm.Forks
+			m.Calls += cm.Calls + 1
+			m.Leaves += cm.Leaves
 			maxChild = max64(maxChild, cm.MaxStackBytes)
 			depthF = maxInt(depthF, cm.FibrilDepth)
 			depthC = maxInt(depthC, cm.CallDepth)
@@ -120,6 +124,8 @@ func analyze(t Task, memo map[uint64]Metrics) Metrics {
 			openMax = max64(openMax, spine+cm.Span)
 			m.Tasks += cm.Tasks
 			m.Forks += cm.Forks + 1
+			m.Calls += cm.Calls
+			m.Leaves += cm.Leaves
 			maxChild = max64(maxChild, cm.MaxStackBytes)
 			depthF = maxInt(depthF, cm.FibrilDepth)
 			depthC = maxInt(depthC, cm.CallDepth)
@@ -138,6 +144,9 @@ func analyze(t Task, memo map[uint64]Metrics) Metrics {
 	}
 	m.FibrilDepth = self + depthF
 	m.CallDepth = 1 + depthC
+	if m.Tasks == 1 { // no call or fork edges anywhere below: a leaf
+		m.Leaves = 1
+	}
 	if t.Key != 0 {
 		memo[t.Key] = m
 	}

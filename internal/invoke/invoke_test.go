@@ -235,3 +235,39 @@ func TestQuickSpanWorkInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCallsAndLeavesMetrics(t *testing.T) {
+	if m := Analyze(Leaf(1, 64)); m.Leaves != 1 || m.Calls != 0 {
+		t.Errorf("leaf: leaves/calls = %d/%d, want 1/0", m.Leaves, m.Calls)
+	}
+	// parfib without memoization: fib(n) called instances follow the
+	// recursion exactly — tasks = calls + forks + 1, and the leaves are
+	// the n<2 base cases: leaves(n) = fib(n+1) for the unmemoized tree.
+	tree := func(n int) Task {
+		var gen func(n int) Task
+		gen = func(n int) Task {
+			if n < 2 {
+				return Task{Frame: 64, Segs: []Seg{{Work: 1}}}
+			}
+			return Task{Frame: 64, Segs: []Seg{
+				{Work: 1, Fork: func() Task { return gen(n - 1) }},
+				{Work: 0, Call: func() Task { return gen(n - 2) }},
+				{Work: 1, Join: true},
+			}}
+		}
+		return gen(n)
+	}
+	m := Analyze(tree(10))
+	if m.Tasks != m.Calls+m.Forks+1 {
+		t.Errorf("tasks %d != calls %d + forks %d + 1", m.Tasks, m.Calls, m.Forks)
+	}
+	if want := fibValue(11); m.Leaves != want {
+		t.Errorf("leaves = %d, want fib(11) = %d", m.Leaves, want)
+	}
+	// Memoization must not change the metrics.
+	mm := Analyze(fibTree(10, 64))
+	if mm.Leaves != m.Leaves || mm.Calls != m.Calls {
+		t.Errorf("memoized leaves/calls = %d/%d, want %d/%d",
+			mm.Leaves, mm.Calls, m.Leaves, m.Calls)
+	}
+}

@@ -255,6 +255,10 @@ func (s *sim) pushRecord(w *worker, f *fiber, t invoke.Task, notify, parent *fra
 		frame:  &frameSim{depth: depth, parent: parent},
 		notify: notify,
 	})
+	s.res.Tasks++
+	if s.cfg.OnTask != nil {
+		s.cfg.OnTask(t)
+	}
 }
 
 // takeFaultCost charges the latency of page faults taken since the last

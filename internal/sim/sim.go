@@ -98,6 +98,13 @@ type Config struct {
 	// continuation and victims perform the unmaps. The default help-first
 	// engine mirrors the Go runtime's child-stealing substitution.
 	WorkFirst bool
+	// OnTask, when non-nil, is called once per task instance at the moment
+	// its activation record is pushed (i.e. the task starts executing), in
+	// both engines. The simulator is single-threaded, so the callback needs
+	// no synchronization. The conformance harness (internal/check) uses it
+	// to collect the executed-task multiset for differential comparison
+	// against the real runtime.
+	OnTask func(t invoke.Task)
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +131,7 @@ type Result struct {
 
 	Makespan int64 // simulated completion time Tp
 
+	Tasks         int64 // task instances that began execution
 	Forks         int64
 	Steals        int64
 	StealAttempts int64

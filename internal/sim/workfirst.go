@@ -258,6 +258,10 @@ func (ws *wfSim) pushWF(ctx *wfContext, t invoke.Task,
 			home: ctx.cur, homeMark: base + t.Frame},
 	}
 	ctx.recs = append(ctx.recs, r)
+	ws.res.Tasks++
+	if ws.cfg.OnTask != nil {
+		ws.cfg.OnTask(t)
+	}
 	return r
 }
 
@@ -452,6 +456,15 @@ func (ws *wfSim) retireStack(now int64, stk *stack.Stack) {
 	if stk.Bytes() != 0 {
 		panic(fmt.Sprintf("sim(work-first): retiring stack %d with %d live bytes",
 			stk.ID(), stk.Bytes()))
+	}
+	// An abandoned stack can reach here with its pages still dummy-mapped:
+	// its frames were popped by other contexts, so the resume-time remap
+	// never ran. Remap before pooling — reusing a dummy-mapped stack would
+	// read the dummy file instead of stack memory. (Watermark is zero here,
+	// so RemapAbove covers the whole stack.)
+	if ws.cfg.Strategy == core.StrategyFibrilMMap && stk.HasDummyPages() {
+		stk.RemapAbove()
+		ws.serializedMMap(now, int64(stk.Capacity()))
 	}
 	ws.releaseStack(now, stk)
 }

@@ -125,6 +125,18 @@ func (p *Pool) Put(s *Stack) {
 	p.cond.Signal()
 }
 
+// ForEachFree visits every stack currently in the pool's free list, under
+// the pool lock. Intended for post-run inspection (conformance oracles):
+// once a runtime is quiescent, every stack it ever used is free, so this
+// enumerates the run's full stack population.
+func (p *Pool) ForEachFree(fn func(*Stack)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.free {
+		fn(s)
+	}
+}
+
 // Close wakes every blocked Take with a nil result. Reopen re-enables the
 // pool for the next run.
 func (p *Pool) Close() {

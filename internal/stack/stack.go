@@ -144,6 +144,13 @@ func (s *Stack) RemapAbove() {
 	s.region.RemapAnonymous(s.Pages(), s.Capacity())
 }
 
+// HasDummyPages reports whether any page is still dummy-file mapped — a
+// MapDummyAbove not yet undone by RemapAbove. Such a stack must not be
+// reused: touching a dummy page reads the dummy file, not stack memory.
+func (s *Stack) HasDummyPages() bool {
+	return s.region.DummyPages() > 0
+}
+
 // Branch records that child branched off this stack at its current
 // watermark — a new node in the cactus stack, created when a thief resumes
 // a stolen frame on a fresh stack. Branch may only be used when the caller

@@ -255,6 +255,18 @@ func (r *Region) RemapAnonymous(lo, hi int) {
 	}
 }
 
+// DummyPages returns how many of the region's pages are currently mapped
+// to the dummy file (MapDummy without a matching RemapAnonymous).
+func (r *Region) DummyPages() int {
+	n := 0
+	for _, p := range r.pages {
+		if p == pageDummy {
+			n++
+		}
+	}
+	return n
+}
+
 func (r *Region) checkLive(i int) {
 	if r.freed {
 		panic("vm: use of unmapped region")

@@ -378,3 +378,81 @@ func TestQuickFaultAccounting(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestConcurrentConservationSampled is the harness-grade conservation
+// property: per-region owners hammer Touch/Madvise (the lock-free hot
+// path) while a sampler thread snapshots the global counters. Every
+// snapshot — not just the final one — must satisfy the conservation laws:
+// RSS within [0, total mapped pages], high-water and fault counters
+// monotone, faults never below resident pages. At quiescence the global
+// RSS must equal the sum of per-region residency exactly.
+func TestConcurrentConservationSampled(t *testing.T) {
+	as := NewAddressSpace()
+	const (
+		workers = 8
+		pages   = 32
+		rounds  = 400
+	)
+	regions := make([]*Region, workers)
+	for i := range regions {
+		regions[i], _ = as.MMap(pages)
+	}
+	total := int64(workers * pages)
+
+	var workersWG, samplerWG sync.WaitGroup
+	stop := make(chan struct{})
+	samplerWG.Add(1)
+	go func() { // sampler
+		defer samplerWG.Done()
+		var lastFaults, lastMax int64
+		for {
+			s := as.Snapshot()
+			if s.RSSPages < 0 || s.RSSPages > total {
+				t.Errorf("sampled RSS %d outside [0,%d]", s.RSSPages, total)
+			}
+			if s.PageFaults < lastFaults {
+				t.Errorf("faults went backwards: %d < %d", s.PageFaults, lastFaults)
+			}
+			if s.MaxRSSPages < lastMax {
+				t.Errorf("max RSS went backwards: %d < %d", s.MaxRSSPages, lastMax)
+			}
+			if s.PageFaults < s.MaxRSSPages {
+				t.Errorf("faults %d < max RSS %d", s.PageFaults, s.MaxRSSPages)
+			}
+			lastFaults, lastMax = s.PageFaults, s.MaxRSSPages
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		workersWG.Add(1)
+		go func(id int, r *Region) {
+			defer workersWG.Done()
+			for k := 0; k < rounds; k++ {
+				lo := (id + k) % pages
+				r.TouchRange(lo, pages)
+				if k%3 != 0 {
+					r.Madvise(lo, pages)
+				}
+			}
+		}(i, regions[i])
+	}
+	workersWG.Wait()
+	close(stop)
+	samplerWG.Wait()
+
+	s := as.Snapshot()
+	var resident int64
+	for _, r := range regions {
+		resident += int64(r.ResidentPages())
+	}
+	if s.RSSPages != resident {
+		t.Errorf("final RSS %d != sum of region residency %d", s.RSSPages, resident)
+	}
+	if s.MaxRSSPages > total {
+		t.Errorf("max RSS %d > total mapped %d", s.MaxRSSPages, total)
+	}
+}
