@@ -9,13 +9,15 @@
 //	fibril-bench -experiment fig3 -reps 10  # the paper's ten repetitions
 //
 // Experiments: fig3, fig4, table2, table3, table4, mmap-vs-madvise,
-// depth-restricted, stack-pool, stealpath, counters, all. See
+// depth-restricted, stack-pool, stealpath, memory, counters, all. See
 // EXPERIMENTS.md for the mapping to the paper and the expected shapes.
 //
-// The stealpath experiment additionally supports -json <path>, writing its
-// rows as a JSON array (benchmark, strategy, deque, p, ns_op, steals,
-// steal_attempts) — the machine-readable seed of the repo's perf
-// trajectory (results/BENCH_stealpath.json).
+// The stealpath and memory experiments additionally support -json <path>,
+// writing their rows as a JSON array — the machine-readable seeds of the
+// repo's perf trajectory (results/BENCH_stealpath.json and
+// results/BENCH_memory.json). A committed BENCH_memory.json can be
+// re-validated without re-running via -validate-memory <path>, which fails
+// if the file is malformed, empty, or any row left its space envelope.
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | stealpath | counters | all")
+			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | stealpath | memory | counters | all")
 		full = flag.Bool("full", false,
 			"use simulation-scale inputs and the paper's worker grid (slow)")
 		reps      = flag.Int("reps", 3, "timing repetitions for real-runtime measurements")
@@ -42,8 +44,19 @@ func main() {
 		jsonPath  = flag.String("json", "", "write the stealpath experiment's rows as JSON to this path")
 		helpFirst = flag.Bool("helpfirst", false,
 			"simulate with the help-first child-stealing engine instead of the paper's work-first discipline")
+		validateMemory = flag.String("validate-memory", "",
+			"validate an existing BENCH_memory.json at this path and exit (CI smoke)")
 	)
 	flag.Parse()
+
+	if *validateMemory != "" {
+		if err := checkMemoryJSON(*validateMemory); err != nil {
+			fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fibril-bench: %s ok\n", *validateMemory)
+		return
+	}
 
 	opts := exper.Options{Full: *full, Reps: *reps, HelpFirst: *helpFirst}
 	if *list != "" {
@@ -122,6 +135,15 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	case "memory":
+		rows, t := exper.Memory(opts)
+		emit(t)
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+				os.Exit(1)
+			}
+		}
 	case "counters":
 		emit(exper.CountersSmoke(opts))
 	case "all":
@@ -142,12 +164,43 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		// -json targets the stealpath rows in "all" mode; run memory for
+		// its table only.
+		_, mt := exper.Memory(opts)
+		emit(mt)
 		emit(exper.CountersSmoke(opts))
 	default:
 		fmt.Fprintf(os.Stderr, "fibril-bench: unknown experiment %q\n", *experiment)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// checkMemoryJSON validates a BENCH_memory.json: it must parse as a
+// non-empty []exper.MemoryRow and every row must have stayed within its
+// (D+1)(S1p+1) space envelope.
+func checkMemoryJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rows []exper.MemoryRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return fmt.Errorf("%s: malformed: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%s: no rows", path)
+	}
+	for i, r := range rows {
+		if r.Benchmark == "" || r.Mode == "" || r.Workers <= 0 {
+			return fmt.Errorf("%s: row %d incomplete: %+v", path, i, r)
+		}
+		if !r.WithinEnvelope {
+			return fmt.Errorf("%s: row %d (%s/%s) left its space envelope: maxRSS=%d > %d pages",
+				path, i, r.Benchmark, r.Mode, r.MaxRSSPages, r.EnvelopePages)
+		}
+	}
+	return nil
 }
 
 // writeJSON writes v as indented JSON to path, creating it if needed.

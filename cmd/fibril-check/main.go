@@ -13,6 +13,8 @@
 //	fibril-check -duration 2m       # time-bounded soak
 //	fibril-check -seed 0x2a         # replay one seed
 //	fibril-check -panics            # inject panics (real runtime only)
+//	fibril-check -batch 8 -ceiling 512  # coalesced unmap + RSS ceiling
+//	fibril-check -pool global       # the mutex pool instead of the sharded one
 //	go test -race ... is unnecessary; build the soak itself with -race:
 //	go run -race ./cmd/fibril-check -n 500
 package main
@@ -40,11 +42,14 @@ func main() {
 		panics   = flag.Bool("panics", false, "inject panics into 25% of leaves (disables the simulator legs)")
 		nodes    = flag.Int("nodes", 0, "override Params.MaxNodes (0 = default)")
 		nosim    = flag.Bool("nosim", false, "skip the simulator legs")
+		pool     = flag.String("pool", "sharded", "stack pool kind: sharded, global")
+		batch    = flag.Int("batch", 0, "Config.UnmapBatch for the real-runtime legs (0/1 = eager)")
+		ceiling  = flag.Int64("ceiling", 0, "Config.MaxResidentPages for the real-runtime legs (0 = off)")
 		quiet    = flag.Bool("q", false, "suppress the progress line")
 	)
 	flag.Parse()
 
-	opts, err := parseOptions(*workers, *deques, *strat, *nosim)
+	opts, err := parseOptions(*workers, *deques, *strat, *nosim, *pool, *batch, *ceiling)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fibril-check:", err)
 		os.Exit(2)
@@ -146,8 +151,19 @@ func firstLine(err error) string {
 	return s
 }
 
-func parseOptions(workers, deques, strat string, nosim bool) (check.Options, error) {
+func parseOptions(workers, deques, strat string, nosim bool,
+	pool string, batch int, ceiling int64) (check.Options, error) {
 	var opts check.Options
+	mem := check.MemParams{UnmapBatch: batch, MaxResidentPages: ceiling}
+	switch strings.TrimSpace(pool) {
+	case "sharded", "":
+		mem.Pool = core.PoolSharded
+	case "global":
+		mem.Pool = core.PoolGlobal
+	default:
+		return opts, fmt.Errorf("bad -pool %q (want sharded, global)", pool)
+	}
+	opts.Mem = []check.MemParams{mem}
 	for _, w := range strings.Split(workers, ",") {
 		var n int
 		if _, err := fmt.Sscanf(strings.TrimSpace(w), "%d", &n); err != nil || n < 1 {

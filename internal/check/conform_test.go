@@ -120,6 +120,41 @@ func TestDifferentialAdversarialParams(t *testing.T) {
 	}
 }
 
+// TestDifferentialMemoryEngine runs the seed range through the three
+// memory-pressure-engine configurations the runtime distinguishes: the
+// global mutex pool with eager unmap (the pre-engine behaviour), the
+// sharded pool with coalesced unmap, and coalescing plus a soft RSS
+// ceiling low enough that the pressure valve fires on real programs.
+// Every oracle — including the Unmaps/ReclaimCancels/ReclaimSkips
+// conservation law and the ceiling accounting — is checked on each leg.
+func TestDifferentialMemoryEngine(t *testing.T) {
+	n := 16
+	if testing.Short() {
+		n = 4
+	}
+	mems := []MemParams{
+		{Pool: core.PoolGlobal},
+		{UnmapBatch: 4},
+		{UnmapBatch: 4, MaxResidentPages: 64},
+	}
+	for seed := 0; seed < n; seed++ {
+		seed := uint64(seed)
+		t.Run(Generate(seed, Params{}).String(), func(t *testing.T) {
+			t.Parallel()
+			p := Generate(seed, Params{})
+			opts := Options{
+				Workers: []int{1, 4},
+				Deques:  []core.DequeKind{core.DequeTHE},
+				Mem:     mems,
+				NoSim:   true, // sim legs ignore Mem; covered elsewhere
+			}
+			if err := Differential(p, opts); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 // TestViolationReportsSeed pins the replayability contract: a failing
 // oracle's message must contain the program seed.
 func TestViolationReportsSeed(t *testing.T) {

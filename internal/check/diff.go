@@ -16,6 +16,11 @@ type Options struct {
 	// Strategies are the scheduling strategies, applied to the real runtime
 	// and the simulators. Default {Fibril}.
 	Strategies []core.Strategy
+	// Mem are the memory-pressure-engine configurations each real-runtime
+	// leg is run with. Default {{}} — the default engine (sharded pool,
+	// eager unmap, no ceiling). The simulators do not model the engine, so
+	// the sim legs ignore this.
+	Mem []MemParams
 	// SimWorkers are the simulator worker counts, run with both the
 	// help-first and the work-first engine. Default {1, 3}; nil-able via
 	// NoSim.
@@ -35,6 +40,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Strategies) == 0 {
 		o.Strategies = []core.Strategy{core.StrategyFibril}
+	}
+	if len(o.Mem) == 0 {
+		o.Mem = []MemParams{{}}
 	}
 	if len(o.SimWorkers) == 0 {
 		o.SimWorkers = []int{1, 3}
@@ -57,11 +65,13 @@ func Differential(p *Program, opts Options) error {
 	for _, strat := range opts.Strategies {
 		for _, dk := range opts.Deques {
 			for _, workers := range opts.Workers {
-				e := RunReal(p, workers, dk, strat)
-				if p.Panics > 0 {
-					errs = append(errs, CheckRealPanic(p, e))
-				} else {
-					errs = append(errs, CheckReal(p, m, e))
+				for _, mem := range opts.Mem {
+					e := RunReal(p, workers, dk, strat, mem)
+					if p.Panics > 0 {
+						errs = append(errs, CheckRealPanic(p, e))
+					} else {
+						errs = append(errs, CheckReal(p, m, e))
+					}
 				}
 			}
 		}

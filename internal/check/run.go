@@ -107,13 +107,33 @@ func (p *Program) compile(n *Node, counts []uint32) func(*core.W) {
 	}
 }
 
+// MemParams selects the memory-pressure-engine knobs of a real-runtime
+// leg. The zero value is the default engine configuration (sharded pool,
+// eager unmap, no ceiling); the oracles read the params to pick between
+// the eager equalities and the coalesced conservation laws.
+type MemParams struct {
+	Pool             core.PoolKind
+	UnmapBatch       int
+	MaxResidentPages int64
+}
+
+// String renders the non-default knobs, empty for the zero value.
+func (mp MemParams) String() string {
+	if mp == (MemParams{}) {
+		return ""
+	}
+	return fmt.Sprintf("pool=%v,batch=%d,ceiling=%d", mp.Pool, mp.UnmapBatch, mp.MaxResidentPages)
+}
+
 // RealExec is the observable outcome of one real-runtime execution.
 type RealExec struct {
 	Label     string
+	Mem       MemParams
 	Counts    []uint32 // executions per node ID
 	Stats     core.Stats
 	Queued    int // tasks left in deques at quiescence (must be 0)
 	Parked    int // thieves still parked at quiescence (must be 0)
+	Pending   int // live reclaim tickets at quiescence (must be 0)
 	MaxHW     int // largest per-stack high-water mark, in pages
 	Recovered any // value recovered from Run, if it panicked
 }
@@ -122,18 +142,26 @@ type RealExec struct {
 // everything the oracles need. The runtime's steal RNG is seeded from the
 // program seed (decorrelated by a constant) so executions are as
 // reproducible as goroutine scheduling allows.
-func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy) RealExec {
+func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy, mem MemParams) RealExec {
+	label := fmt.Sprintf("real/%v/%v/P=%d", strat, dk, workers)
+	if s := mem.String(); s != "" {
+		label += "[" + s + "]"
+	}
 	e := RealExec{
-		Label:  fmt.Sprintf("real/%v/%v/P=%d", strat, dk, workers),
+		Label:  label,
+		Mem:    mem,
 		Counts: make([]uint32, p.Nodes),
 	}
 	rt := core.NewRuntime(core.Config{
-		Workers:    workers,
-		Strategy:   strat,
-		Deque:      dk,
-		FrameBytes: p.Root.Frame, // the root task charges its own frame
-		StackPages: harnessStackPages,
-		Seed:       p.Seed ^ 0xC0FFEE,
+		Workers:          workers,
+		Strategy:         strat,
+		Deque:            dk,
+		FrameBytes:       p.Root.Frame, // the root task charges its own frame
+		StackPages:       harnessStackPages,
+		Seed:             p.Seed ^ 0xC0FFEE,
+		Pool:             mem.Pool,
+		UnmapBatch:       mem.UnmapBatch,
+		MaxResidentPages: mem.MaxResidentPages,
 	})
 	body := p.Body(e.Counts)
 	func() {
@@ -143,6 +171,7 @@ func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy) Re
 	e.Stats = rt.Stats()
 	e.Queued = rt.QueuedTasks()
 	e.Parked = rt.ParkedThieves()
+	e.Pending = rt.PendingReclaims()
 	e.MaxHW = rt.MaxStackHighWaterPages()
 	return e
 }

@@ -38,6 +38,11 @@ type Frame struct {
 	parent   *Frame // frame of the task that declared this one (ancestry)
 	initMark int    // owning stack's watermark at Init (cactus branch point)
 
+	// pendingReclaim is the live deferred-unmap ticket of the current
+	// suspension, if any (coalesced-unmap mode only). Guarded by mu; the
+	// resume path cancels it before waking the owner.
+	pendingReclaim *reclaimTicket
+
 	panicked *TaskPanic // first panic among the frame's children
 }
 
@@ -68,6 +73,7 @@ func (w *W) Init(f *Frame) {
 	f.depth = w.depth
 	f.parent = w.frame
 	f.initMark = w.stack.Bytes()
+	f.pendingReclaim = nil
 }
 
 // childDone is called by the worker that just completed a child of f. When
@@ -86,7 +92,17 @@ func (w *W) childDone(f *Frame) (handoff bool) {
 	}
 	f.suspended = false
 	ch := f.resume
+	t := f.pendingReclaim
+	f.pendingReclaim = nil
 	f.mu.Unlock()
+
+	// Cancel the suspension's deferred unmap, if a batch flush has not
+	// resolved it yet — strictly before the resume signal below, so no
+	// flush can madvise the stack once the owner is running again. A won
+	// cancel is a saved madvise plus the saved refaults.
+	if t != nil && t.cancel() {
+		w.stats.reclaimCancels.Add(1)
+	}
 
 	w.stats.resumes.Add(1)
 	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindResume, int64(f.stack.ID()))
@@ -114,27 +130,55 @@ func (w *W) suspend(f *Frame) bool {
 		f.resume = make(chan *worker, 1)
 	}
 	f.watermark = w.stack.Bytes()
+	rt := w.rt
+	// Coalesced-unmap mode: decide the suspension's unmap fate inside the
+	// commit, so a racing childDone — which can run the instant the lock
+	// drops — always sees the ticket and cancels it before resuming us.
+	var ticket *reclaimTicket
+	gated := false
+	if rt.cfg.Strategy == StrategyFibril && rt.reclaim.batched() {
+		if w.stack.ReclaimablePages() > 0 {
+			ticket = &reclaimTicket{s: w.stack, from: w.stack.Pages()}
+			f.pendingReclaim = ticket
+		} else {
+			gated = true
+		}
+	}
 	f.mu.Unlock()
 
-	rt := w.rt
 	w.stats.suspends.Add(1)
 	rt.cfg.Tracer.Record(w.slotID(), trace.KindSuspend, int64(w.stack.ID()))
 
-	// Return the unused portion of the suspended stack to the OS
-	// (Listing 3 line 63). It is safe after publishing the suspension:
-	// nobody touches this stack until the resume channel fires, and the
-	// pages below the watermark stay mapped.
-	switch rt.cfg.Strategy {
-	case StrategyFibril:
-		freed := w.stack.UnmapAbove()
-		w.stats.unmaps.Add(1)
-		w.stats.unmappedPages.Add(int64(freed))
-		rt.cfg.Tracer.Record(w.slotID(), trace.KindUnmap, int64(freed))
-	case StrategyFibrilMMap:
-		freed := w.stack.MapDummyAbove()
-		w.stats.unmaps.Add(1)
-		w.stats.unmappedPages.Add(int64(freed))
+	switch {
+	case ticket != nil:
+		// Defer the unmap: post the ticket for a batched flush. The
+		// ticket may already be cancelled (the children finished during
+		// the lines above); enqueue regardless — flush skips dead tickets.
+		rt.reclaim.enqueue(w.slotID(), w.stats, ticket)
+	case gated:
+		// Hysteresis gate: the stack never grew past its last unmap
+		// point, so every page above the watermark is already gone and
+		// the madvise is saved outright — the re-suspend-at-same-depth
+		// thrash the eager path pays for.
+		w.stats.reclaimSkips.Add(1)
+	default:
+		// Return the unused portion of the suspended stack to the OS
+		// (Listing 3 line 63). It is safe after publishing the
+		// suspension: nobody touches this stack until the resume channel
+		// fires, and the pages below the watermark stay mapped.
+		switch rt.cfg.Strategy {
+		case StrategyFibril:
+			freed := w.stack.UnmapAbove()
+			w.stats.unmaps.Add(1)
+			w.stats.unmappedPages.Add(int64(freed))
+			rt.cfg.Tracer.Record(w.slotID(), trace.KindUnmap, int64(freed))
+		case StrategyFibrilMMap:
+			freed := w.stack.MapDummyAbove()
+			w.stats.unmaps.Add(1)
+			w.stats.unmappedPages.Add(int64(freed))
+		}
 	}
+	rt.reclaim.pressure(w.slotID(), w.stats)
 
 	if w.slot != nil {
 		// Hand the worker slot to a replacement thief so exactly P slots

@@ -165,6 +165,35 @@ func (k DequeKind) String() string {
 // DequeKinds lists every implemented deque kind, in presentation order.
 func DequeKinds() []DequeKind { return []DequeKind{DequeTHE, DequeChaseLev} }
 
+// PoolKind selects the stack-pool implementation behind take/put.
+type PoolKind int
+
+const (
+	// PoolSharded is the default: per-worker lock-free free caches with a
+	// global overflow list, so the stack Take/Put fast path costs one
+	// atomic swap/CAS instead of a mutex round trip.
+	PoolSharded PoolKind = iota
+	// PoolGlobal is the single-lock reference pool — the paper's Listing 3
+	// verbatim, kept for differential testing and for its strictly exact
+	// MaxStacksUsed counter.
+	PoolGlobal
+)
+
+// String returns the pool kind's display name as used in benchmarks.
+func (k PoolKind) String() string {
+	switch k {
+	case PoolSharded:
+		return "sharded"
+	case PoolGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("PoolKind(%d)", int(k))
+	}
+}
+
+// PoolKinds lists every implemented pool kind, in presentation order.
+func PoolKinds() []PoolKind { return []PoolKind{PoolSharded, PoolGlobal} }
+
 // taskDeque abstracts over the deque implementations so every strategy —
 // including the restricted-stealing ones, which need StealIf — runs
 // unchanged on either. Push and Pop are owner-only; Steal, StealIf and Len
@@ -207,8 +236,24 @@ type Config struct {
 	// Seed seeds the per-worker steal RNGs. 0 means a fixed default, so
 	// runs are reproducible by default.
 	Seed uint64
+	// Pool selects the stack-pool implementation. PoolSharded (the
+	// default) gives Take/Put a lock-free fast path; PoolGlobal is the
+	// single-lock reference.
+	Pool PoolKind
+	// UnmapBatch > 1 turns on coalesced unmap for StrategyFibril: a
+	// suspend posts a reclaim ticket instead of madvising eagerly, and
+	// tickets are flushed UnmapBatch at a time — unless the frame resumes
+	// first, which cancels the ticket and saves both the madvise and the
+	// refaults. 0 or 1 keeps the paper's eager per-suspend unmap exactly.
+	UnmapBatch int
+	// MaxResidentPages > 0 is a soft ceiling on simulated RSS: a worker
+	// about to map fresh stack pages (or suspending) while over the
+	// ceiling first drains the deferred-unmap queue, then reclaims the
+	// resident residue of free pooled stacks. 0 disables the ceiling.
+	MaxResidentPages int64
 	// Tracer, when non-nil, records scheduler events (forks, steals,
-	// suspensions, resumptions, unmaps) for post-mortem inspection.
+	// suspensions, resumptions, unmaps, reclaims) for post-mortem
+	// inspection.
 	Tracer *trace.Recorder
 }
 
@@ -228,6 +273,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FrameBytes <= 0 {
 		c.FrameBytes = 192
+	}
+	if c.UnmapBatch < 0 {
+		c.UnmapBatch = 0
 	}
 	if c.Seed == 0 {
 		c.Seed = 0x9E3779B97F4A7C15
@@ -268,9 +316,10 @@ type tbbTask struct {
 
 // Runtime is one parallel execution context.
 type Runtime struct {
-	cfg  Config
-	as   *vm.AddressSpace
-	pool *stack.Pool
+	cfg     Config
+	as      *vm.AddressSpace
+	pool    stack.Pooler
+	reclaim *reclaimer
 
 	workers []*worker
 	done    atomic.Bool
@@ -292,12 +341,19 @@ type Runtime struct {
 func NewRuntime(cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
 	as := vm.NewAddressSpace()
+	var pool stack.Pooler
+	if cfg.Pool == PoolGlobal {
+		pool = stack.NewPool(as, cfg.StackPages, cfg.StackLimit)
+	} else {
+		pool = stack.NewShardedPool(as, cfg.StackPages, cfg.StackLimit, cfg.Workers)
+	}
 	rt := &Runtime{
 		cfg:  cfg,
 		as:   as,
-		pool: stack.NewPool(as, cfg.StackPages, cfg.StackLimit),
+		pool: pool,
 		park: newParkLot(),
 	}
+	rt.reclaim = newReclaimer(rt)
 	rt.workers = make([]*worker, cfg.Workers)
 	for i := range rt.workers {
 		rt.workers[i] = &worker{
@@ -333,18 +389,20 @@ func (rt *Runtime) Run(root func(*W)) Stats {
 		go rt.thiefLoop(rt.workers[i])
 	}
 
-	w := &W{rt: rt, slot: rt.workers[0], stack: rt.pool.Take(), stats: rt.shard(0)}
+	w := &W{rt: rt, slot: rt.workers[0], stack: rt.takeStack(0), stats: rt.shard(0)}
 	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
 	// The root has no parent frame; its completion ends the computation.
 	rt.done.Store(true)
 
 	// Wake every parked thief so it observes done, release any thief
 	// blocked in a bounded pool's Take, wait for every thief goroutine to
-	// unwind, then reopen the pool for the next Run.
+	// unwind, flush any reclaim tickets the resumes did not cancel, then
+	// reopen the pool for the next Run.
 	rt.park.close()
-	rt.pool.Put(w.stack)
+	rt.pool.Put(0, w.stack)
 	rt.pool.Close()
 	rt.goroutineWG.Wait()
+	rt.reclaim.drainAll(0, rt.shard(0))
 	rt.pool.Reopen()
 	if tp := rt.rootPanic.Swap(nil); tp != nil {
 		panic(tp) // the root task panicked: surface it from Run
@@ -369,7 +427,7 @@ const (
 // thieves stop burning CPU while work is scarce.
 func (rt *Runtime) thiefLoop(slot *worker) {
 	defer rt.goroutineWG.Done()
-	st := rt.pool.Take()
+	st := rt.takeStack(slot.id)
 	if st == nil {
 		return // pool closed: the computation is over
 	}
@@ -404,11 +462,11 @@ func (rt *Runtime) thiefLoop(slot *worker) {
 			// The slot was transferred to a resumed parent; this
 			// goroutine's stack goes back to the pool and it exits —
 			// put_stack_into_pool (Listing 3 line 71).
-			rt.pool.Put(w.stack)
+			rt.pool.Put(slot.id, w.stack)
 			return
 		}
 	}
-	rt.pool.Put(w.stack)
+	rt.pool.Put(slot.id, w.stack)
 }
 
 // randomSteal attempts one round of randomized stealing over the other
@@ -464,12 +522,26 @@ func (rt *Runtime) randomSteal(w *W, restrict func(task) bool) (task, bool) {
 // slots, no deques; Fork is a `go` statement, every task gets its own
 // pooled stack, Join waits on a counter.
 func (rt *Runtime) runGoroutine(root func(*W)) Stats {
-	st := rt.pool.Take()
+	st := rt.takeStack(-1)
 	w := &W{rt: rt, stack: st, stats: rt.shard(-1)}
 	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
-	rt.pool.Put(st)
+	rt.pool.Put(-1, st)
 	if tp := rt.rootPanic.Swap(nil); tp != nil {
 		panic(tp)
 	}
 	return rt.Stats()
+}
+
+// takeStack takes a stack from the pool for the given worker slot,
+// applying the RSS-ceiling pressure valve first so that — when over the
+// ceiling — already-promised pages are reclaimed before fresh ones are
+// mapped. Returns nil when the pool has been closed; a map failure in the
+// simulated address space is a programming error and panics.
+func (rt *Runtime) takeStack(slot int) *stack.Stack {
+	rt.reclaim.pressure(slot, rt.shard(slot))
+	s, err := rt.pool.Take(slot)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return s
 }

@@ -25,7 +25,13 @@ type counterShard struct {
 	unmaps           atomic.Int64
 	unmappedPages    atomic.Int64
 	spawnOverhead    atomic.Int64
-	_                [48]byte
+	unmapBatches     atomic.Int64
+	reclaimCancels   atomic.Int64
+	reclaimSkips     atomic.Int64
+	ceilingHits      atomic.Int64
+	reclaimedPages   atomic.Int64
+	poolReclaims     atomic.Int64
+	// 16 words = exactly 128 bytes; no padding needed.
 }
 
 // shard returns the counter shard for worker slot id; id -1 (slotless
@@ -53,6 +59,17 @@ type Stats struct {
 	Unmaps           int64 // unmap operations (Table 2 "unmaps")
 	UnmappedPages    int64 // physical pages returned by those unmaps
 	SpawnOverhead    int64 // modelled spawn-prologue events (Cilk Plus, TBB)
+
+	// Memory-pressure engine counters (coalesced unmap + RSS ceiling).
+	// Every suspend resolves exactly one way, so in coalesced mode
+	// Suspends == Unmaps + ReclaimCancels + ReclaimSkips; with eager
+	// unmap the three new counters stay zero and Unmaps == Suspends.
+	UnmapBatches   int64 // batch flushes that issued at least one madvise
+	ReclaimCancels int64 // deferred unmaps cancelled by the frame resuming
+	ReclaimSkips   int64 // suspends skipped by the hysteresis gate
+	CeilingHits    int64 // RSS-ceiling crossings observed by workers
+	ReclaimedPages int64 // pages reclaimed from free pooled stacks
+	PoolReclaims   int64 // madvise calls issued by those pool reclaims
 
 	StacksCreated int   // stacks ever mapped (Table 4 "# of stacks")
 	MaxStacksUsed int   // stacks simultaneously checked out
@@ -83,6 +100,12 @@ func (rt *Runtime) Stats() Stats {
 		s.Unmaps += sh.unmaps.Load()
 		s.UnmappedPages += sh.unmappedPages.Load()
 		s.SpawnOverhead += sh.spawnOverhead.Load()
+		s.UnmapBatches += sh.unmapBatches.Load()
+		s.ReclaimCancels += sh.reclaimCancels.Load()
+		s.ReclaimSkips += sh.reclaimSkips.Load()
+		s.CeilingHits += sh.ceilingHits.Load()
+		s.ReclaimedPages += sh.reclaimedPages.Load()
+		s.PoolReclaims += sh.poolReclaims.Load()
 	}
 	return s
 }

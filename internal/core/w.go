@@ -75,10 +75,10 @@ func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 		// Go-native baseline: a goroutine per task with its own pooled
 		// stack; no deques, nothing to steal.
 		go func() {
-			st := w.rt.pool.Take()
+			st := w.rt.takeStack(-1)
 			child := &W{rt: w.rt, stack: st, stats: w.rt.shard(-1)}
 			child.exec(t)
-			w.rt.pool.Put(st)
+			w.rt.pool.Put(-1, st)
 			child.childDone(f)
 		}()
 		return

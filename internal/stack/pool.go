@@ -1,13 +1,73 @@
 package stack
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"fibril/internal/vm"
 )
 
-// Pool is the runtime's stack pool (Listing 3's take_stack_from_pool /
+// Pooler is the stack-pool contract the runtime schedules against
+// (Listing 3's take_stack_from_pool / put_stack_into_pool). Two
+// implementations exist: the single-lock Pool below (the paper's baseline,
+// kept both as the reference for differential testing and for the strict
+// counter equalities only a serialized pool can promise) and the
+// ShardedPool (per-worker lock-free caches, the default).
+//
+// The shard argument of Take/TryTake/Put is the caller's worker-slot id —
+// a locality hint, not a partition: any shard value (including -1 for
+// slotless workers) is valid on either implementation, and stacks may
+// migrate freely between shards.
+type Pooler interface {
+	// Take returns a stack, creating one if none is free. With a bounded
+	// pool it blocks until a stack is available. It returns (nil, nil)
+	// once the pool has been closed, so blocked thieves can unwind at
+	// shutdown, and (nil, *MapError) if a fresh stack could not be mapped.
+	Take(shard int) (*Stack, error)
+	// TryTake is Take without blocking; ok is false when a bounded pool
+	// is exhausted. A closed pool is not checked (matching the historical
+	// Pool behaviour): TryTake may hand out a free stack after Close.
+	TryTake(shard int) (s *Stack, ok bool, err error)
+	// Put returns a quiescent stack (frames all popped) to the pool.
+	Put(shard int, s *Stack)
+	// Close wakes every blocked Take with a nil result; Reopen re-enables
+	// the pool for the next run.
+	Close()
+	Reopen()
+	// Created returns how many stacks the pool has ever mapped; MaxInUse
+	// the most simultaneously checked out; InUse the current checkout
+	// count; Stalls how many times Take had to wait on a bounded pool.
+	Created() int
+	MaxInUse() int
+	InUse() int
+	Stalls() int64
+	// ForEachFree visits every free stack. Intended for post-run
+	// inspection at quiescence, when every stack the runtime used is free.
+	ForEachFree(fn func(*Stack))
+	// ReclaimFree madvises the resident residue off free stacks until
+	// stop() reports the pressure has passed, returning the madvise calls
+	// issued and pages freed — the RSS-ceiling fallback.
+	ReclaimFree(stop func() bool) (calls, pages int64)
+	// Drain releases every pooled stack's mapping. Only for teardown.
+	Drain()
+}
+
+// MapError reports that the pool could not map a fresh stack. The pool's
+// counters are already repaired when a Take returns it: no slot is leaked
+// under a bounded limit and MaxInUse does not count the failed checkout.
+type MapError struct {
+	Pages int // requested stack size
+	Err   error
+}
+
+func (e *MapError) Error() string {
+	return fmt.Sprintf("stack: pool cannot map a new %d-page stack: %v", e.Pages, e.Err)
+}
+
+func (e *MapError) Unwrap() error { return e.Err }
+
+// Pool is the single-lock stack pool (Listing 3's take_stack_from_pool /
 // put_stack_into_pool). In Fibril mode the pool is unbounded: a thief that
 // needs a stack always gets one, preserving the time bound. With a positive
 // limit it models Intel Cilk Plus, which caps the number of stacks (2400 by
@@ -18,10 +78,14 @@ type Pool struct {
 	pages int
 	limit int // 0 = unbounded
 
+	// newStack maps a fresh stack; tests swap it to inject map failures.
+	newStack func(as *vm.AddressSpace, pages, id int) (*Stack, error)
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	free    []*Stack
 	created int
+	ids     int // monotone id source: never decremented, unlike created
 	closed  bool
 
 	inUse    int
@@ -29,6 +93,8 @@ type Pool struct {
 
 	stalls atomic.Int64 // times a thief had to wait for a stack
 }
+
+var _ Pooler = (*Pool)(nil)
 
 // CilkPlusDefaultLimit is Cilk Plus's default cap on worker stacks.
 const CilkPlusDefaultLimit = 2400
@@ -40,40 +106,35 @@ func NewPool(as *vm.AddressSpace, pages, limit int) *Pool {
 	if pages <= 0 {
 		pages = DefaultStackPages
 	}
-	p := &Pool{as: as, pages: pages, limit: limit}
+	p := &Pool{as: as, pages: pages, limit: limit, newStack: New}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
 // Take returns a stack, creating one if the free list is empty. With a
 // bounded pool it blocks — the thief "refrains from stealing" — until a
-// stack is available. Take returns nil once the pool has been closed, so
-// that blocked thieves can unwind at shutdown.
-func (p *Pool) Take() *Stack {
+// stack is available. Take returns (nil, nil) once the pool has been
+// closed, so that blocked thieves can unwind at shutdown.
+func (p *Pool) Take(shard int) (*Stack, error) {
+	_ = shard // single-lock pool: no locality to exploit
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
 		if p.closed {
-			return nil
+			return nil, nil
 		}
 		if n := len(p.free); n > 0 {
 			s := p.free[n-1]
 			p.free = p.free[:n-1]
 			p.takeLocked()
-			return s
+			return s, nil
 		}
 		if p.limit == 0 || p.created < p.limit {
-			p.created++
-			id := p.created
-			p.takeLocked()
-			p.mu.Unlock()
-			s, err := New(p.as, p.pages, id)
-			p.mu.Lock()
+			s, err := p.createLocked()
 			if err != nil {
-				// Address-space exhaustion is unrecoverable in the model.
-				panic("stack: pool cannot map a new stack: " + err.Error())
+				return nil, err
 			}
-			return s
+			return s, nil
 		}
 		p.stalls.Add(1)
 		p.cond.Wait()
@@ -82,28 +143,56 @@ func (p *Pool) Take() *Stack {
 
 // TryTake is Take without blocking; ok is false when a bounded pool is
 // exhausted.
-func (p *Pool) TryTake() (*Stack, bool) {
+func (p *Pool) TryTake(shard int) (*Stack, bool, error) {
+	_ = shard
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if n := len(p.free); n > 0 {
 		s := p.free[n-1]
 		p.free = p.free[:n-1]
 		p.takeLocked()
-		return s, true
+		return s, true, nil
 	}
 	if p.limit == 0 || p.created < p.limit {
-		p.created++
-		id := p.created
-		p.takeLocked()
-		p.mu.Unlock()
-		s, err := New(p.as, p.pages, id)
-		p.mu.Lock()
+		s, err := p.createLocked()
 		if err != nil {
-			panic("stack: pool cannot map a new stack: " + err.Error())
+			return nil, false, err
 		}
-		return s, true
+		return s, true, nil
 	}
-	return nil, false
+	return nil, false, nil
+}
+
+// createLocked maps a fresh stack with the pool lock held, dropping it
+// around the map call. The counters are bumped optimistically (so a
+// concurrent Take under a bounded limit cannot over-create) and repaired
+// if the map fails: the created slot is released, the phantom checkout is
+// removed from inUse and from any MaxInUse high-water it inflated, and one
+// waiter is woken to retry the now-available slot. The id source is
+// monotone so a repaired slot never reissues an id.
+func (p *Pool) createLocked() (*Stack, error) {
+	p.created++
+	p.ids++
+	id := p.ids
+	maxBefore := p.maxInUse
+	p.takeLocked()
+	p.mu.Unlock()
+	s, err := p.newStack(p.as, p.pages, id)
+	p.mu.Lock()
+	if err != nil {
+		p.created--
+		p.inUse--
+		// Our phantom checkout was counted in inUse for the whole map
+		// window, so any high-water recorded in it overstates the real
+		// concurrent holding by exactly one (per concurrently failing
+		// create); peel our contribution off, never below the prior mark.
+		if p.maxInUse > maxBefore {
+			p.maxInUse--
+		}
+		p.cond.Signal()
+		return nil, &MapError{Pages: p.pages, Err: err}
+	}
+	return s, nil
 }
 
 func (p *Pool) takeLocked() {
@@ -115,7 +204,8 @@ func (p *Pool) takeLocked() {
 
 // Put returns a stack to the pool. The stack must be quiescent (its frames
 // all popped); its watermark is reset and its cactus linkage cleared.
-func (p *Pool) Put(s *Stack) {
+func (p *Pool) Put(shard int, s *Stack) {
+	_ = shard
 	s.SetWatermark(0)
 	s.ClearBranch()
 	p.mu.Lock()
@@ -137,6 +227,24 @@ func (p *Pool) ForEachFree(fn func(*Stack)) {
 	}
 }
 
+// ReclaimFree returns the resident residue of free stacks to the OS,
+// oldest pooled first, until stop() reports enough has been freed. Only
+// stacks with possibly-resident pages cost a madvise call.
+func (p *Pool) ReclaimFree(stop func() bool) (calls, pages int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.free {
+		if stop != nil && stop() {
+			break
+		}
+		if freed, called := s.ReclaimResidue(); called {
+			calls++
+			pages += int64(freed)
+		}
+	}
+	return calls, pages
+}
+
 // Close wakes every blocked Take with a nil result. Reopen re-enables the
 // pool for the next run.
 func (p *Pool) Close() {
@@ -146,11 +254,14 @@ func (p *Pool) Close() {
 	p.cond.Broadcast()
 }
 
-// Reopen re-enables a closed pool.
+// Reopen re-enables a closed pool. It broadcasts so that any Take which
+// raced past the closed check before Close's broadcast — and is now
+// waiting although the free list may be non-empty — re-sweeps.
 func (p *Pool) Reopen() {
 	p.mu.Lock()
 	p.closed = false
 	p.mu.Unlock()
+	p.cond.Broadcast()
 }
 
 // Created returns how many stacks the pool has ever mapped — the paper's
@@ -166,6 +277,13 @@ func (p *Pool) MaxInUse() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.maxInUse
+}
+
+// InUse returns the stacks currently checked out.
+func (p *Pool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inUse
 }
 
 // Stalls returns how many times Take had to wait on a bounded pool.

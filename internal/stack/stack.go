@@ -33,6 +33,14 @@ type Stack struct {
 	top    int // current watermark: bytes in use
 	high   int // high-water bytes ever used (serial S1 measurement aid)
 
+	// cleanFrom is the hysteresis watermark of the coalesced-unmap engine:
+	// every page at index >= cleanFrom is known non-resident (never touched
+	// since it was last returned to the OS). Push raises it as pages are
+	// faulted in; the unmap paths lower it as pages are returned. A stack
+	// that re-suspends at the same depth it was last unmapped at therefore
+	// reports zero ReclaimablePages and skips the madvise entirely.
+	cleanFrom int
+
 	// Cactus linkage: the stack this one branched from, if any.
 	parent      *Stack
 	parentDepth int // byte watermark of parent at the branch point
@@ -94,6 +102,9 @@ func (s *Stack) Push(bytes int) (base int, err error) {
 	base = s.top
 	if bytes > 0 {
 		s.region.TouchRange(base/vm.PageSize, vm.PageAlign(newTop))
+		if p := vm.PageAlign(newTop); p > s.cleanFrom {
+			s.cleanFrom = p
+		}
 	}
 	s.top = newTop
 	if newTop > s.high {
@@ -129,13 +140,57 @@ func (s *Stack) SetWatermark(bytes int) {
 // partially used top page stays resident (the "+D" term of Theorem 4.2).
 // It returns the number of physical pages freed.
 func (s *Stack) UnmapAbove() int {
-	return s.region.Madvise(s.Pages(), s.Capacity())
+	freed := s.region.Madvise(s.Pages(), s.Capacity())
+	s.cleanFrom = s.Pages()
+	return freed
 }
 
 // MapDummyAbove is the serialized-mmap alternative to UnmapAbove: it remaps
 // the unused pages to a dummy file, taking the address-space lock.
 func (s *Stack) MapDummyAbove() int {
-	return s.region.MapDummy(s.Pages(), s.Capacity())
+	freed := s.region.MapDummy(s.Pages(), s.Capacity())
+	s.cleanFrom = s.Pages()
+	return freed
+}
+
+// ReclaimablePages returns how many pages above the live watermark may
+// still be resident — the span a deferred unmap of this suspended stack
+// would cover. Zero means a flush would be a guaranteed no-op (the
+// hysteresis test: the stack never grew past its last unmap point).
+func (s *Stack) ReclaimablePages() int {
+	if r := s.cleanFrom - s.Pages(); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// UnmapFrom is the deferred form of UnmapAbove used by the coalesced-unmap
+// engine: it returns the pages in [from, cleanFrom) to the OS, where from
+// is the page watermark captured when the stack suspended. The caller must
+// guarantee the stack has not been touched since that capture (the
+// reclaim-ticket protocol does). It reports the pages freed and whether a
+// madvise call was actually issued.
+func (s *Stack) UnmapFrom(from int) (freed int, called bool) {
+	if from < 0 || from >= s.cleanFrom {
+		return 0, false
+	}
+	freed = s.region.Madvise(from, s.cleanFrom)
+	s.cleanFrom = from
+	return freed, true
+}
+
+// ReclaimResidue returns every possibly-resident page of a quiescent
+// (pooled, watermark-zero) stack to the OS — the RSS-ceiling fallback that
+// reclaims from free stacks before new ones are mapped. It reports the
+// pages freed and whether a madvise call was issued (none when the stack
+// is already clean).
+func (s *Stack) ReclaimResidue() (freed int, called bool) {
+	if s.cleanFrom <= 0 {
+		return 0, false
+	}
+	freed = s.region.Madvise(0, s.cleanFrom)
+	s.cleanFrom = 0
+	return freed, true
 }
 
 // RemapAbove undoes MapDummyAbove before the stack is reused. After a

@@ -160,13 +160,26 @@ func TestCactusPath(t *testing.T) {
 	}
 }
 
+// mustTake unwraps a Take that the test expects to succeed.
+func mustTake(t *testing.T, p Pooler, shard int) *Stack {
+	t.Helper()
+	s, err := p.Take(shard)
+	if err != nil {
+		t.Fatalf("Take: %v", err)
+	}
+	if s == nil {
+		t.Fatal("Take returned nil from an open pool")
+	}
+	return s
+}
+
 func TestPoolReuse(t *testing.T) {
 	as := vm.NewAddressSpace()
 	p := NewPool(as, 4, 0)
-	s1 := p.Take()
+	s1 := mustTake(t, p, 0)
 	s1.Push(100)
-	p.Put(s1)
-	s2 := p.Take()
+	p.Put(0, s1)
+	s2 := mustTake(t, p, 0)
 	if s2 != s1 {
 		t.Error("pool did not reuse the freed stack")
 	}
@@ -181,8 +194,8 @@ func TestPoolReuse(t *testing.T) {
 func TestPoolCreatesWhenEmpty(t *testing.T) {
 	as := vm.NewAddressSpace()
 	p := NewPool(as, 4, 0)
-	a := p.Take()
-	b := p.Take()
+	a := mustTake(t, p, 0)
+	b := mustTake(t, p, 0)
 	if a == b {
 		t.Error("pool returned the same stack twice")
 	}
@@ -194,13 +207,13 @@ func TestPoolCreatesWhenEmpty(t *testing.T) {
 func TestBoundedPoolBlocksThenUnblocks(t *testing.T) {
 	as := vm.NewAddressSpace()
 	p := NewPool(as, 4, 2)
-	a := p.Take()
-	b := p.Take()
-	if _, ok := p.TryTake(); ok {
+	a := mustTake(t, p, 0)
+	b := mustTake(t, p, 0)
+	if _, ok, _ := p.TryTake(0); ok {
 		t.Fatal("TryTake succeeded past the limit")
 	}
 	done := make(chan *Stack)
-	go func() { done <- p.Take() }()
+	go func() { s, _ := p.Take(0); done <- s }()
 	// Wait until the taker has actually stalled before returning a stack.
 	deadline := time.Now().Add(5 * time.Second)
 	for p.Stalls() == 0 {
@@ -209,7 +222,7 @@ func TestBoundedPoolBlocksThenUnblocks(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	p.Put(b)
+	p.Put(0, b)
 	got := <-done
 	if got != b {
 		t.Error("blocked Take did not receive the returned stack")
@@ -217,11 +230,80 @@ func TestBoundedPoolBlocksThenUnblocks(t *testing.T) {
 	if p.Stalls() != 1 {
 		t.Errorf("Stalls = %d, want 1", p.Stalls())
 	}
-	p.Put(a)
-	p.Put(got)
+	p.Put(0, a)
+	p.Put(0, got)
 	p.Drain()
 	if rss := as.Snapshot().VirtualPages; rss != 0 {
 		t.Errorf("VirtualPages = %d after drain, want 0", rss)
+	}
+}
+
+func TestReclaimablePagesHysteresis(t *testing.T) {
+	_, s := newStack(t, 16)
+	base, _ := s.Push(10 * vm.PageSize)
+	s.Pop(base + 4*vm.PageSize) // 4 pages live, cleanFrom == 10
+	if got := s.ReclaimablePages(); got != 6 {
+		t.Fatalf("ReclaimablePages = %d, want 6", got)
+	}
+	if freed := s.UnmapAbove(); freed != 6 {
+		t.Fatalf("UnmapAbove freed %d, want 6", freed)
+	}
+	// Re-suspend at the same depth: nothing above the watermark can be
+	// resident, so the hysteresis gate reports a guaranteed no-op.
+	if got := s.ReclaimablePages(); got != 0 {
+		t.Errorf("ReclaimablePages = %d after unmap, want 0", got)
+	}
+	// Growing past the unmap point re-arms the gate.
+	s.Push(2 * vm.PageSize)
+	s.Pop(4 * vm.PageSize)
+	if got := s.ReclaimablePages(); got != 2 {
+		t.Errorf("ReclaimablePages = %d after regrow, want 2", got)
+	}
+}
+
+func TestUnmapFromDeferred(t *testing.T) {
+	as, s := newStack(t, 16)
+	base, _ := s.Push(12 * vm.PageSize)
+	s.Pop(base + 3*vm.PageSize) // suspend point: 3 pages live
+	from := s.Pages()
+	before := as.Snapshot().MadviseCalls
+	freed, called := s.UnmapFrom(from)
+	if !called || freed != 9 {
+		t.Fatalf("UnmapFrom = %d,%v, want 9,true", freed, called)
+	}
+	if got := as.Snapshot().MadviseCalls - before; got != 1 {
+		t.Fatalf("madvise calls = %d, want 1", got)
+	}
+	if got := s.ResidentPages(); got != 3 {
+		t.Errorf("resident = %d, want 3", got)
+	}
+	// A second flush of the same range is refused without a syscall.
+	if _, called := s.UnmapFrom(from); called {
+		t.Error("UnmapFrom re-issued madvise on a clean range")
+	}
+	if _, called := s.UnmapFrom(-1); called {
+		t.Error("UnmapFrom accepted a negative watermark")
+	}
+}
+
+func TestReclaimResidue(t *testing.T) {
+	as, s := newStack(t, 8)
+	s.Push(5 * vm.PageSize)
+	s.Pop(0)
+	s.SetWatermark(0) // quiescent, as when pooled
+	freed, called := s.ReclaimResidue()
+	if !called || freed != 5 {
+		t.Fatalf("ReclaimResidue = %d,%v, want 5,true", freed, called)
+	}
+	if got := s.ResidentPages(); got != 0 {
+		t.Errorf("resident = %d, want 0", got)
+	}
+	before := as.Snapshot().MadviseCalls
+	if _, called := s.ReclaimResidue(); called {
+		t.Error("ReclaimResidue re-issued madvise on a clean stack")
+	}
+	if got := as.Snapshot().MadviseCalls - before; got != 0 {
+		t.Errorf("clean reclaim cost %d madvise calls", got)
 	}
 }
 

@@ -36,6 +36,8 @@ const (
 	KindTaskStart
 	// KindTaskEnd: a stolen task completed (arg: depth).
 	KindTaskEnd
+	// KindReclaim: the RSS ceiling forced a reclaim pass (arg: pages freed).
+	KindReclaim
 )
 
 // String names the kind.
@@ -55,6 +57,8 @@ func (k Kind) String() string {
 		return "start"
 	case KindTaskEnd:
 		return "end"
+	case KindReclaim:
+		return "reclaim"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -164,11 +168,12 @@ func (r *Recorder) Timeline(w io.Writer, bucket time.Duration) error {
 	glyph := map[Kind]byte{
 		KindFork: 'f', KindSteal: 'S', KindSuspend: 'z',
 		KindResume: 'R', KindUnmap: 'u', KindTaskStart: '>', KindTaskEnd: '<',
+		KindReclaim: 'r',
 	}
 	// Rank kinds so rarer, more interesting events win a contested cell.
 	rank := map[Kind]int{
 		KindFork: 0, KindTaskEnd: 1, KindTaskStart: 2, KindUnmap: 3,
-		KindSteal: 4, KindResume: 5, KindSuspend: 6,
+		KindSteal: 4, KindResume: 5, KindSuspend: 6, KindReclaim: 7,
 	}
 	lanes := make([][]byte, maxWorker+1)
 	laneRank := make([][]int, maxWorker+1)
@@ -193,7 +198,7 @@ func (r *Recorder) Timeline(w io.Writer, bucket time.Duration) error {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "timeline: %v total, %v/column; f=fork S=steal z=suspend R=resume u=unmap >=start <=end\n",
+	fmt.Fprintf(&b, "timeline: %v total, %v/column; f=fork S=steal z=suspend R=resume u=unmap r=reclaim >=start <=end\n",
 		span.Round(time.Microsecond), bucket)
 	for i, lane := range lanes {
 		fmt.Fprintf(&b, "w%-3d %s\n", i, lane)

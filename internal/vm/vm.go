@@ -57,7 +57,7 @@ type AddressSpace struct {
 	maxRSS        atomic.Int64 // high-water resident set
 	virtualPages  atomic.Int64 // currently reserved virtual pages
 	maxVirtual    atomic.Int64 // high-water virtual reservation
-	faults        atomic.Int64 // demand-paging faults (count, not pages... each fault is one page)
+	faults        atomic.Int64 // demand-paging faults; each fault maps exactly one page, so the count is also a page count
 	mmapCalls     atomic.Int64
 	munmapCalls   atomic.Int64
 	madviseCalls  atomic.Int64
@@ -79,6 +79,23 @@ func (as *AddressSpace) lock() {
 	}
 	as.lockContended.Add(1)
 	as.mu.Lock()
+}
+
+// RSSPages returns the current resident set in pages without building a
+// full Snapshot — the memory-pressure ceiling reads it on hot paths.
+func (as *AddressSpace) RSSPages() int64 { return as.rss.Load() }
+
+// subRSS returns freed pages from the resident set. The per-page state
+// machine guarantees a page is only freed while resident, so the counter
+// can never underflow; if it does, some caller double-freed and every
+// RSS-derived quantity is garbage — fail loudly rather than report it.
+func (as *AddressSpace) subRSS(freed int64) {
+	if freed == 0 {
+		return
+	}
+	if v := as.rss.Add(-freed); v < 0 {
+		panic(fmt.Sprintf("vm: RSS underflow: freed %d pages with %d resident", freed, v+freed))
+	}
 }
 
 // pageState is the per-page mapping state within a Region.
@@ -139,7 +156,7 @@ func (r *Region) MUnmap() {
 		}
 		r.pages[i] = pageAnon
 	}
-	r.as.rss.Add(int64(-freedRes))
+	r.as.subRSS(int64(freedRes))
 	r.as.virtualPages.Add(int64(-len(r.pages)))
 	r.freed = true
 }
@@ -212,7 +229,7 @@ func (r *Region) Madvise(lo, hi int) int {
 		}
 	}
 	if freed > 0 {
-		r.as.rss.Add(int64(-freed))
+		r.as.subRSS(int64(freed))
 		r.as.madvisedPages.Add(int64(freed))
 	}
 	return freed
@@ -234,7 +251,7 @@ func (r *Region) MapDummy(lo, hi int) int {
 		r.pages[i] = pageDummy
 	}
 	if freed > 0 {
-		r.as.rss.Add(int64(-freed))
+		r.as.subRSS(int64(freed))
 	}
 	return freed
 }
