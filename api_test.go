@@ -1,0 +1,135 @@
+package fibril_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api_golden.txt from the current sources")
+
+const apiGoldenPath = "testdata/api_golden.txt"
+
+// TestAPISurface pins the package's exported API: every exported
+// declaration of package fibril, rendered go-doc-style and sorted, must
+// match the committed golden file. An accidental export, removal, or
+// signature change fails here before it ships; a deliberate change is
+// recorded with `go test -run TestAPISurface -update-api .` so the diff
+// reviews alongside the code.
+func TestAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(apiGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", apiGoldenPath)
+		return
+	}
+	wantBytes, err := os.ReadFile(apiGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-api)", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	seen := make(map[string]bool, len(gotLines))
+	for _, l := range gotLines {
+		seen[l] = true
+	}
+	for _, l := range wantLines {
+		if l != "" && !seen[l] {
+			t.Errorf("missing from API: %s", l)
+		}
+	}
+	wanted := make(map[string]bool, len(wantLines))
+	for _, l := range wantLines {
+		wanted[l] = true
+	}
+	for _, l := range gotLines {
+		if l != "" && !wanted[l] {
+			t.Errorf("added to API:     %s", l)
+		}
+	}
+	if t.Failed() {
+		t.Log("intentional API changes: rerun with -update-api and commit the golden diff")
+	} else {
+		t.Errorf("API surface differs from %s in ordering/formatting; rerun with -update-api", apiGoldenPath)
+	}
+}
+
+// apiSurface renders every exported top-level declaration in the package
+// directory (tests excluded), one per line, sorted.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs["fibril"]
+	if pkg == nil {
+		t.Fatalf("package fibril not found in %v", pkgs)
+	}
+	render := func(node any) string {
+		var sb strings.Builder
+		if err := printer.Fprint(&sb, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		// One line per declaration: collapse any multi-line rendering.
+		return strings.Join(strings.Fields(sb.String()), " ")
+	}
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue // methods live on internal types; aliases re-export them
+				}
+				cp := *d
+				cp.Doc, cp.Body = nil, nil
+				lines = append(lines, render(&cp))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							cp := *s
+							cp.Doc, cp.Comment = nil, nil
+							lines = append(lines, "type "+render(&cp))
+						}
+					case *ast.ValueSpec:
+						cp := *s
+						cp.Doc, cp.Comment = nil, nil
+						exported := false
+						for _, n := range cp.Names {
+							if n.IsExported() {
+								exported = true
+							}
+						}
+						if exported {
+							lines = append(lines, fmt.Sprintf("%s %s", d.Tok, render(&cp)))
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -24,10 +24,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 
+	"fibril"
 	"fibril/internal/bench"
+	"fibril/internal/core"
 	"fibril/internal/exper"
 	"fibril/internal/table"
 )
@@ -46,6 +51,8 @@ func main() {
 			"simulate with the help-first child-stealing engine instead of the paper's work-first discipline")
 		validateMemory = flag.String("validate-memory", "",
 			"validate an existing BENCH_memory.json at this path and exit (CI smoke)")
+		serve = flag.String("serve", "",
+			"serve live runtime metrics on this address (e.g. :8080) while experiments run; JSON at /debug/vars under the \"fibril\" key")
 	)
 	flag.Parse()
 
@@ -59,6 +66,12 @@ func main() {
 	}
 
 	opts := exper.Options{Full: *full, Reps: *reps, HelpFirst: *helpFirst}
+	if *serve != "" {
+		if err := serveMetrics(*serve, &opts); err != nil {
+			fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+			os.Exit(1)
+		}
+	}
 	if *list != "" {
 		opts.Benches = strings.Split(*list, ",")
 		for _, n := range opts.Benches {
@@ -174,6 +187,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// serveMetrics starts the expvar endpoint and hooks opts.Observe so the
+// "fibril" var always snapshots the runtime the experiments are currently
+// driving. Runtime.Snapshot is safe mid-Run, so the endpoint serves live
+// counters, gauges, and histograms while a measurement is executing.
+func serveMetrics(addr string, opts *exper.Options) error {
+	var current atomic.Pointer[core.Runtime]
+	opts.Observe = func(rt *core.Runtime) { current.Store(rt) }
+	fibril.PublishExpvar("fibril", func() fibril.Metrics {
+		if rt := current.Load(); rt != nil {
+			return rt.Snapshot()
+		}
+		return fibril.Metrics{}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fibril-bench: serving metrics on http://%s/debug/vars\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "fibril-bench: metrics server:", err)
+		}
+	}()
+	return nil
 }
 
 // checkMemoryJSON validates a BENCH_memory.json: it must parse as a

@@ -10,11 +10,13 @@
 //	fibril-trace -input paper               # Table 1 inputs (keyed trees only)
 //	fibril-trace -bench fib -n 42
 //	fibril-trace -bench fib -timeline -workers 8
+//	fibril-trace -bench fib -chrome out.json  # Chrome trace_event JSON (Perfetto)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -34,6 +36,46 @@ var keyedAtPaperScale = map[string]bool{
 	"lu": true, "cholesky": true, "fft": true, "heat": true,
 }
 
+// resolveBench looks up a -bench name and applies -n/-m overrides to its
+// default input.
+func resolveBench(name string, n, m int) (*bench.Spec, bench.Arg, error) {
+	s := bench.Get(name)
+	if s == nil {
+		return nil, bench.Arg{}, fmt.Errorf("unknown benchmark %q", name)
+	}
+	a := s.Default
+	if n != 0 {
+		a.N = n
+	}
+	if m != 0 {
+		a.M = m
+	}
+	return s, a, nil
+}
+
+// runTraced executes the benchmark on the real runtime with the given
+// event sink attached, surfacing an escaped task panic as an error.
+func runTraced(s *bench.Spec, a bench.Arg, workers int, sink trace.Sink) (core.Stats, time.Duration, error) {
+	rt := core.NewRuntime(core.Config{
+		Workers: workers, Strategy: core.StrategyFibril,
+		StackPages: 4096, Sink: sink,
+	})
+	start := time.Now()
+	st, err := rt.RunErr(func(w *core.W) { s.Parallel(w, a) })
+	return st, time.Since(start), err
+}
+
+// runChrome executes the benchmark streaming a Chrome trace_event JSON
+// document to out, closing the document even when the run fails.
+func runChrome(s *bench.Spec, a bench.Arg, workers int, out io.Writer) (core.Stats, time.Duration, error) {
+	cs := trace.NewChromeSink(out)
+	st, elapsed, err := runTraced(s, a, workers, cs)
+	if cerr := cs.Close(); err == nil {
+		err = cerr
+	}
+	return st, elapsed, err
+}
+
 func main() {
 	var (
 		name     = flag.String("bench", "", "single benchmark (default: all)")
@@ -42,36 +84,64 @@ func main() {
 		m        = flag.Int("m", 0, "override M (with -bench)")
 		timeline = flag.Bool("timeline", false,
 			"run the benchmark on the real runtime with tracing and print a worker timeline (with -bench)")
-		workers = flag.Int("workers", 8, "worker count for -timeline")
+		chrome = flag.String("chrome", "",
+			"run the benchmark on the real runtime and write a Chrome trace_event JSON file here (with -bench); load it in Perfetto or about:tracing")
+		workers = flag.Int("workers", 8, "worker count for -timeline/-chrome")
 		bucket  = flag.Duration("bucket", 0, "timeline column width (0 = auto)")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "fibril-trace:", err)
+		os.Exit(1)
+	}
+
+	if *timeline && *chrome != "" {
+		fmt.Fprintln(os.Stderr, "fibril-trace: -timeline and -chrome attach different sinks; pick one")
+		os.Exit(2)
+	}
+
+	if *chrome != "" {
+		if *name == "" {
+			fmt.Fprintln(os.Stderr, "fibril-trace: -chrome requires -bench")
+			os.Exit(2)
+		}
+		s, a, err := resolveBench(*name, *n, *m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fibril-trace:", err)
+			os.Exit(2)
+		}
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fail(err)
+		}
+		st, elapsed, err := runChrome(s, a, *workers, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s %v on %d workers: %v, %v\n", s.Name, a, *workers, elapsed, st)
+		fmt.Printf("wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *chrome)
+		return
+	}
 
 	if *timeline {
 		if *name == "" {
 			fmt.Fprintln(os.Stderr, "fibril-trace: -timeline requires -bench")
 			os.Exit(2)
 		}
-		s := bench.Get(*name)
-		if s == nil {
-			fmt.Fprintf(os.Stderr, "fibril-trace: unknown benchmark %q\n", *name)
+		s, a, err := resolveBench(*name, *n, *m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fibril-trace:", err)
 			os.Exit(2)
 		}
-		a := s.Default
-		if *n != 0 {
-			a.N = *n
-		}
-		if *m != 0 {
-			a.M = *m
-		}
 		rec := trace.NewRecorder(0)
-		rt := core.NewRuntime(core.Config{
-			Workers: *workers, Strategy: core.StrategyFibril,
-			StackPages: 4096, Tracer: rec,
-		})
-		start := time.Now()
-		rt.Run(func(w *core.W) { s.Parallel(w, a) })
-		elapsed := time.Since(start)
+		st, elapsed, err := runTraced(s, a, *workers, rec)
+		if err != nil {
+			fail(err)
+		}
 		b := *bucket
 		if b == 0 {
 			b = elapsed / 100
@@ -79,10 +149,9 @@ func main() {
 				b = time.Microsecond
 			}
 		}
-		fmt.Printf("%s %v on %d workers: %v, %v\n", s.Name, a, *workers, elapsed, rt.Stats())
+		fmt.Printf("%s %v on %d workers: %v, %v\n", s.Name, a, *workers, elapsed, st)
 		if err := rec.Timeline(os.Stdout, b); err != nil {
-			fmt.Fprintln(os.Stderr, "fibril-trace:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"fibril/internal/check"
+	"fibril/internal/trace"
+)
+
+// chromeEvent mirrors the trace_event fields runChrome emits, enough to
+// round-trip the stream back through encoding/json.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s"`
+	Args struct {
+		Arg int64 `json:"arg"`
+	} `json:"args"`
+}
+
+// TestChromeExportReconciles runs the -chrome path into a buffer, parses
+// the document back as JSON, validates the trace_event shape, and
+// reconciles the event stream against the run's Stats counters with the
+// harness oracle — the acceptance check that the export is lossless.
+func TestChromeExportReconciles(t *testing.T) {
+	s, a, err := resolveBench("fib", 18, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	st, _, err := runChrome(s, a, 4, &buf)
+	if err != nil {
+		t.Fatalf("runChrome: %v", err)
+	}
+
+	var events []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a valid JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace document contains no events")
+	}
+
+	kinds := make(map[string]trace.Kind, trace.NumKinds())
+	for i := 0; i < trace.NumKinds(); i++ {
+		kinds[trace.Kind(i).String()] = trace.Kind(i)
+	}
+	ts := check.TraceSummary{Counts: make([]int64, trace.NumKinds())}
+	for i, e := range events {
+		k, ok := kinds[e.Name]
+		if !ok {
+			t.Fatalf("event %d: unknown name %q", i, e.Name)
+		}
+		if e.Pid != 1 || e.Tid < 0 || e.Ts < 0 {
+			t.Fatalf("event %d: bad identity fields %+v", i, e)
+		}
+		switch e.Ph {
+		case "i":
+			if e.S != "t" {
+				t.Fatalf("event %d: instant without thread scope: %+v", i, e)
+			}
+		case "X":
+			if e.Dur <= 0 {
+				t.Fatalf("event %d: complete slice with dur=%v", i, e.Dur)
+			}
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, e.Ph)
+		}
+		ts.Counts[k]++
+		switch k {
+		case trace.KindUnmap:
+			ts.UnmappedPages += e.Args.Arg
+		case trace.KindReclaim:
+			ts.ReclaimedPages += e.Args.Arg
+		}
+	}
+	if err := check.ReconcileTrace(ts, st); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Counts[trace.KindFork] == 0 {
+		t.Error("no fork events in a fib(18) run")
+	}
+}

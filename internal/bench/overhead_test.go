@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"fibril/internal/core"
+	"fibril/internal/stats"
+	"fibril/internal/trace"
+)
+
+// forkJoinLoop is the tracer-overhead microbenchmark body: b.N fork/join
+// pairs on one worker, the tightest loop over the event-emitting hot
+// paths. With one worker nothing is ever stolen, so the per-iteration
+// cost is fork + inline-drain + join — exactly the paths that must stay
+// at one pointer test when tracing is off or masked away.
+func forkJoinLoop(b *testing.B, sink trace.Sink) {
+	rt := core.NewRuntime(core.Config{Workers: 1, Sink: sink})
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Run(func(w *core.W) {
+		var fr core.Frame
+		w.Init(&fr)
+		for i := 0; i < b.N; i++ {
+			w.Fork(&fr, func(*core.W) {})
+			w.Join(&fr)
+		}
+	})
+}
+
+// BenchmarkTracerOverhead measures the fork/join loop under each shipped
+// sink. "nil" is the baseline every other lane is read against; "metrics"
+// should sit within noise of it (the MetricsSink masks KindFork, so the
+// fork path never touches a ring); "recorder" and "chrome" pay the full
+// emit path per fork.
+func BenchmarkTracerOverhead(b *testing.B) {
+	b.Run("nil", func(b *testing.B) { forkJoinLoop(b, nil) })
+	b.Run("metrics", func(b *testing.B) { forkJoinLoop(b, trace.NewMetricsSink()) })
+	b.Run("recorder", func(b *testing.B) { forkJoinLoop(b, trace.NewRecorder(0)) })
+	b.Run("chrome", func(b *testing.B) {
+		cs := trace.NewChromeSink(io.Discard)
+		defer cs.Close()
+		forkJoinLoop(b, cs)
+	})
+}
+
+// TestTracerOverheadSmoke is the CI guard for the nil-sink contract: the
+// fork/join loop with a MetricsSink attached must cost within 10% of the
+// nil-sink loop. Gated behind FIBRIL_OVERHEAD_SMOKE because timing
+// assertions only make sense on quiet machines (the CI job sets it).
+func TestTracerOverheadSmoke(t *testing.T) {
+	if os.Getenv("FIBRIL_OVERHEAD_SMOKE") == "" {
+		t.Skip("set FIBRIL_OVERHEAD_SMOKE=1 to run the timing smoke")
+	}
+	// Best-of-N damps scheduler noise; interleaving the lanes damps
+	// thermal/frequency drift between them.
+	const reps = 3
+	var nilSamples, metSamples []float64
+	for i := 0; i < reps; i++ {
+		r := testing.Benchmark(func(b *testing.B) { forkJoinLoop(b, nil) })
+		nilSamples = append(nilSamples, float64(r.T.Nanoseconds())/float64(r.N))
+		r = testing.Benchmark(func(b *testing.B) { forkJoinLoop(b, trace.NewMetricsSink()) })
+		metSamples = append(metSamples, float64(r.T.Nanoseconds())/float64(r.N))
+	}
+	nilSum, metSum := stats.Of(nilSamples), stats.Of(metSamples)
+	nilNs, metNs := nilSum.Min, metSum.Min
+	t.Logf("fork/join ns/op: nil sink %v, metrics sink %v (best %+.1f%%)",
+		nilSum, metSum, 100*(metNs-nilNs)/nilNs)
+	// One absolute nanosecond of slack keeps sub-100ns baselines from
+	// flagging timer granularity as a regression.
+	if metNs > nilNs*1.10+1 {
+		t.Errorf("metrics-sink fork/join overhead %.1f ns/op exceeds nil-sink %.1f ns/op by more than 10%%",
+			metNs, nilNs)
+	}
+}

@@ -259,6 +259,10 @@ func CheckReal(p *Program, m invoke.Metrics, e RealExec) error {
 		v.failf("MaxRSSPages=%d > stacks(%d)×envelope(%d)=%d",
 			st.VM.MaxRSSPages, st.StacksCreated, env, limit)
 	}
+
+	// Differential check of the observability plane: the streamed event
+	// trace must reconcile with the counter shards (see trace.go).
+	v.reconcileTrace(e.Trace, st)
 	return v.err()
 }
 

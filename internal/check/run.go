@@ -7,6 +7,7 @@ import (
 	"fibril/internal/core"
 	"fibril/internal/invoke"
 	"fibril/internal/sim"
+	"fibril/internal/trace"
 )
 
 // harnessStackPages sizes the simulated stacks used by the harness's
@@ -131,12 +132,19 @@ type RealExec struct {
 	Mem       MemParams
 	Counts    []uint32 // executions per node ID
 	Stats     core.Stats
-	Queued    int // tasks left in deques at quiescence (must be 0)
-	Parked    int // thieves still parked at quiescence (must be 0)
-	Pending   int // live reclaim tickets at quiescence (must be 0)
-	MaxHW     int // largest per-stack high-water mark, in pages
-	Recovered any // value recovered from Run, if it panicked
+	Queued    int          // tasks left in deques at quiescence (must be 0)
+	Parked    int          // thieves still parked at quiescence (must be 0)
+	Pending   int          // live reclaim tickets at quiescence (must be 0)
+	MaxHW     int          // largest per-stack high-water mark, in pages
+	Recovered any          // value recovered from Run, if it panicked
+	Trace     TraceSummary // recorded event stream, reconciled against Stats
 }
+
+// traceRecorderCap bounds the harness recorder. Generated programs emit a
+// handful of events per node, so this is generous; if a soak program ever
+// overflows it the reconciliation oracle sees Dropped > 0 and stands down
+// rather than reporting phantom violations.
+const traceRecorderCap = 1 << 21
 
 // RunReal executes the program on a fresh real runtime and snapshots
 // everything the oracles need. The runtime's steal RNG is seeded from the
@@ -152,6 +160,7 @@ func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy, me
 		Mem:    mem,
 		Counts: make([]uint32, p.Nodes),
 	}
+	rec := trace.NewRecorder(traceRecorderCap)
 	rt := core.NewRuntime(core.Config{
 		Workers:          workers,
 		Strategy:         strat,
@@ -162,6 +171,7 @@ func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy, me
 		Pool:             mem.Pool,
 		UnmapBatch:       mem.UnmapBatch,
 		MaxResidentPages: mem.MaxResidentPages,
+		Sink:             rec,
 	})
 	body := p.Body(e.Counts)
 	func() {
@@ -169,6 +179,7 @@ func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy, me
 		rt.Run(body)
 	}()
 	e.Stats = rt.Stats()
+	e.Trace = SummarizeTrace(rec)
 	e.Queued = rt.QueuedTasks()
 	e.Parked = rt.ParkedThieves()
 	e.Pending = rt.PendingReclaims()

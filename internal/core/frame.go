@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fibril/internal/stack"
 	"fibril/internal/trace"
@@ -105,7 +106,7 @@ func (w *W) childDone(f *Frame) (handoff bool) {
 	}
 
 	w.stats.resumes.Add(1)
-	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindResume, int64(f.stack.ID()))
+	w.rt.trc.Emit(w.slotID(), trace.KindResume, int64(f.stack.ID()), 0)
 	if w.slot == nil {
 		// Goroutine baseline: just wake the waiter, no slot to transfer.
 		ch <- nil
@@ -147,7 +148,7 @@ func (w *W) suspend(f *Frame) bool {
 	f.mu.Unlock()
 
 	w.stats.suspends.Add(1)
-	rt.cfg.Tracer.Record(w.slotID(), trace.KindSuspend, int64(w.stack.ID()))
+	rt.trc.Emit(w.slotID(), trace.KindSuspend, int64(w.stack.ID()), 0)
 
 	switch {
 	case ticket != nil:
@@ -171,15 +172,23 @@ func (w *W) suspend(f *Frame) bool {
 			freed := w.stack.UnmapAbove()
 			w.stats.unmaps.Add(1)
 			w.stats.unmappedPages.Add(int64(freed))
-			rt.cfg.Tracer.Record(w.slotID(), trace.KindUnmap, int64(freed))
+			rt.trc.Emit(w.slotID(), trace.KindUnmap, int64(freed), 0)
 		case StrategyFibrilMMap:
 			freed := w.stack.MapDummyAbove()
 			w.stats.unmaps.Add(1)
 			w.stats.unmappedPages.Add(int64(freed))
+			rt.trc.Emit(w.slotID(), trace.KindUnmap, int64(freed), 0)
 		}
 	}
 	rt.reclaim.pressure(w.slotID(), w.stats)
 
+	// Join-wait time: how long this goroutine stays parked before the
+	// last child's completion hands it a slot back. Timed only when a
+	// sink consumes join-wait events.
+	var parkedAt time.Time
+	if rt.trc.Wants(trace.KindJoinWait) {
+		parkedAt = time.Now()
+	}
 	if w.slot != nil {
 		// Hand the worker slot to a replacement thief so exactly P slots
 		// stay busy (busy leaves). The replacement takes its stack from
@@ -189,6 +198,9 @@ func (w *W) suspend(f *Frame) bool {
 		w.slot = <-f.resume
 	} else {
 		<-f.resume // goroutine baseline: plain blocking join
+	}
+	if !parkedAt.IsZero() {
+		rt.trc.Emit(w.slotID(), trace.KindJoinWait, int64(w.stack.ID()), time.Since(parkedAt))
 	}
 	// Remap before execution returns to the stack. The woken owner does it
 	// (not the finisher) because only the owner may touch the stack; with

@@ -1,0 +1,60 @@
+package core
+
+import "fibril/internal/trace"
+
+// Gauges are instantaneous runtime readings — unlike the monotonic Stats
+// counters, each is a racy-but-coherent point sample of live scheduler
+// and memory state, meaningful mid-execution (and all zero, except
+// StacksInUse on the goroutine baseline, at quiescence).
+type Gauges struct {
+	// ResidentPages is the simulated resident set right now, in pages.
+	ResidentPages int64
+	// QueuedTasks is the number of forked tasks sitting in worker deques,
+	// waiting to be stolen or inline-drained.
+	QueuedTasks int
+	// ParkedThieves is the number of thief goroutines asleep on the park
+	// lot (idle capacity).
+	ParkedThieves int
+	// PendingReclaims is the number of live deferred-unmap tickets
+	// (coalesced-unmap mode's promised-but-unissued madvises).
+	PendingReclaims int
+	// StacksInUse is the number of simulated stacks currently checked out
+	// of the pool.
+	StacksInUse int
+}
+
+// Metrics is the live introspection snapshot returned by
+// Runtime.Snapshot: the cumulative counters, the instantaneous gauges,
+// and — when a trace.MetricsSink is attached — its latency histograms.
+type Metrics struct {
+	Stats  Stats
+	Gauges Gauges
+	// Trace holds the attached MetricsSink's histogram aggregates; nil
+	// when the runtime's sink is not a *trace.MetricsSink.
+	Trace *trace.MetricsSnapshot
+}
+
+// Snapshot captures the runtime's live metrics. Unlike the quiescence
+// accessors in inspect.go it is safe to call at any time, including
+// concurrently with Run: every source it reads — counter shards, pool
+// and address-space counters, deque length estimates, the park lot, the
+// reclaim lists, the metrics sink's histogram buckets — is individually
+// synchronized, so the snapshot is a coherent point sample of each,
+// though not a single atomic cut across all of them.
+func (rt *Runtime) Snapshot() Metrics {
+	m := Metrics{
+		Stats: rt.Stats(),
+		Gauges: Gauges{
+			ResidentPages:   rt.as.RSSPages(),
+			QueuedTasks:     rt.QueuedTasks(),
+			ParkedThieves:   rt.ParkedThieves(),
+			PendingReclaims: rt.PendingReclaims(),
+			StacksInUse:     rt.pool.InUse(),
+		},
+	}
+	if rt.metrics != nil {
+		snap := rt.metrics.Snapshot()
+		m.Trace = &snap
+	}
+	return m
+}

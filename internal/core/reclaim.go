@@ -132,13 +132,14 @@ func (r *reclaimer) flush(slot int, sh *counterShard, batch []*reclaimTicket) {
 			flushed++
 			sh.unmaps.Add(1)
 			sh.unmappedPages.Add(int64(freed))
-			r.rt.cfg.Tracer.Record(slot, trace.KindUnmap, int64(freed))
+			r.rt.trc.Emit(slot, trace.KindUnmap, int64(freed), 0)
 		} else {
 			sh.reclaimSkips.Add(1)
 		}
 	}
 	if flushed > 0 {
 		sh.unmapBatches.Add(1)
+		r.rt.trc.Emit(slot, trace.KindUnmapBatch, int64(flushed), 0)
 	}
 }
 
@@ -176,7 +177,7 @@ func (r *reclaimer) pressure(slot int, sh *counterShard) {
 		})
 		sh.poolReclaims.Add(calls)
 		sh.reclaimedPages.Add(pages)
-		r.rt.cfg.Tracer.Record(slot, trace.KindReclaim, pages)
+		r.rt.trc.Emit(slot, trace.KindReclaim, pages, 0)
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fibril/internal/deque"
 	"fibril/internal/stack"
@@ -251,9 +252,16 @@ type Config struct {
 	// ceiling first drains the deferred-unmap queue, then reclaims the
 	// resident residue of free pooled stacks. 0 disables the ceiling.
 	MaxResidentPages int64
-	// Tracer, when non-nil, records scheduler events (forks, steals,
-	// suspensions, resumptions, unmaps, reclaims) for post-mortem
-	// inspection.
+	// Sink, when non-nil, receives the scheduler event stream (forks,
+	// steals, suspensions, resumptions, unmaps, reclaims) through
+	// per-worker ring buffers: a trace.Recorder for post-mortem
+	// inspection, a trace.ChromeSink for Perfetto-loadable streaming, a
+	// trace.MetricsSink for live histograms, or any custom Sink. A nil
+	// sink costs one pointer test per event site.
+	Sink trace.Sink
+	// Tracer is the legacy buffered-recorder knob, kept so existing
+	// callers work unchanged: when Sink is nil and Tracer is not, the
+	// recorder is attached as the sink. Prefer Sink.
 	Tracer *trace.Recorder
 }
 
@@ -321,6 +329,13 @@ type Runtime struct {
 	pool    stack.Pooler
 	reclaim *reclaimer
 
+	// trc fans scheduler events into the configured sink through
+	// per-worker rings; nil when observability is disabled. metrics is
+	// the attached sink downcast to *trace.MetricsSink (nil otherwise),
+	// so Snapshot can fold its histograms in.
+	trc     *trace.Tracer
+	metrics *trace.MetricsSink
+
 	workers []*worker
 	done    atomic.Bool
 	park    *parkLot
@@ -347,11 +362,19 @@ func NewRuntime(cfg Config) *Runtime {
 	} else {
 		pool = stack.NewShardedPool(as, cfg.StackPages, cfg.StackLimit, cfg.Workers)
 	}
+	sink := cfg.Sink
+	if sink == nil && cfg.Tracer != nil {
+		sink = cfg.Tracer
+	}
 	rt := &Runtime{
 		cfg:  cfg,
 		as:   as,
 		pool: pool,
 		park: newParkLot(),
+		trc:  trace.NewTracer(sink, cfg.Workers),
+	}
+	if ms, ok := sink.(*trace.MetricsSink); ok {
+		rt.metrics = ms
 	}
 	rt.reclaim = newReclaimer(rt)
 	rt.workers = make([]*worker, cfg.Workers)
@@ -403,11 +426,33 @@ func (rt *Runtime) Run(root func(*W)) Stats {
 	rt.pool.Close()
 	rt.goroutineWG.Wait()
 	rt.reclaim.drainAll(0, rt.shard(0))
+	rt.trc.Flush()
 	rt.pool.Reopen()
 	if tp := rt.rootPanic.Swap(nil); tp != nil {
 		panic(tp) // the root task panicked: surface it from Run
 	}
 	return rt.Stats()
+}
+
+// RunErr executes root like Run but returns a panic that escaped the root
+// task as an error instead of re-panicking: the long-lived-server shape,
+// where a worker pool outlives any one computation and a failed request
+// must not unwind the process. The returned error is the *TaskPanic Run
+// would have thrown (errors.As-compatible with the panic value it wraps);
+// the accompanying Stats snapshot is valid either way, since RunErr only
+// intercepts the re-raise after Run's orderly shutdown. Panics from the
+// runtime itself (stack overflow, pool misuse) still propagate.
+func (rt *Runtime) RunErr(root func(*W)) (stats Stats, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			tp, ok := v.(*TaskPanic)
+			if !ok {
+				panic(v)
+			}
+			stats, err = rt.Stats(), tp
+		}
+	}()
+	return rt.Run(root), nil
 }
 
 // Thief backoff ladder: a thief that fails a full sweep retries
@@ -482,6 +527,13 @@ func (rt *Runtime) randomSteal(w *W, restrict func(task) bool) (task, bool) {
 	self := w.slot.id
 	n := len(rt.workers)
 	probes := int64(0)
+	// Steal latency: how long the winning sweep took from entry to
+	// acquisition. The clock reads exist only when a sink consumes steal
+	// events, so the disabled path stays untimed.
+	var sweepStart time.Time
+	if rt.trc.Wants(trace.KindSteal) {
+		sweepStart = time.Now()
+	}
 	take := func(victim *worker) (task, bool) {
 		probes++
 		if restrict == nil {
@@ -493,7 +545,11 @@ func (rt *Runtime) randomSteal(w *W, restrict func(task) bool) (task, bool) {
 		w.slot.lastVictim = victim.id
 		w.stats.stealAttempts.Add(probes)
 		w.stats.steals.Add(1)
-		rt.cfg.Tracer.Record(self, trace.KindSteal, int64(victim.id))
+		var lat time.Duration
+		if !sweepStart.IsZero() {
+			lat = time.Since(sweepStart)
+		}
+		rt.trc.Emit(self, trace.KindSteal, int64(victim.id), lat)
 		return t, true
 	}
 	if lv := w.slot.lastVictim; lv >= 0 && lv != self {
@@ -526,6 +582,7 @@ func (rt *Runtime) runGoroutine(root func(*W)) Stats {
 	w := &W{rt: rt, stack: st, stats: rt.shard(-1)}
 	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
 	rt.pool.Put(-1, st)
+	rt.trc.Flush()
 	if tp := rt.rootPanic.Swap(nil); tp != nil {
 		panic(tp)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"fibril/internal/stack"
 	"fibril/internal/trace"
@@ -49,7 +50,7 @@ func (w *W) Fork(f *Frame, fn func(*W)) {
 func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 	f.count.Add(1)
 	w.stats.forks.Add(1)
-	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindFork, int64(w.depth))
+	w.rt.trc.Emit(w.slotID(), trace.KindFork, int64(w.depth), 0)
 	t := task{fn: fn, frame: f, bytes: int32(bytes), depth: w.depth + 1}
 
 	switch w.rt.cfg.Strategy {
@@ -248,9 +249,19 @@ func (w *W) runStolen(t task) {
 		// pushing and popping on its stack right now.
 		ps.BranchAt(w.stack, t.frame.initMark)
 	}
-	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindTaskStart, int64(t.depth))
+	w.rt.trc.Emit(w.slotID(), trace.KindTaskStart, int64(t.depth), 0)
+	// Stolen-task run time: measured only when a sink consumes task-end
+	// events, so untraced runs skip both clock reads.
+	var t0 time.Time
+	if w.rt.trc.Wants(trace.KindTaskEnd) {
+		t0 = time.Now()
+	}
 	w.exec(t)
-	w.rt.cfg.Tracer.Record(w.slotID(), trace.KindTaskEnd, int64(t.depth))
+	var ran time.Duration
+	if !t0.IsZero() {
+		ran = time.Since(t0)
+	}
+	w.rt.trc.Emit(w.slotID(), trace.KindTaskEnd, int64(t.depth), ran)
 	if w.childDone(t.frame) {
 		w.released = true
 	}

@@ -47,6 +47,20 @@ type Options struct {
 	// child-stealing engine (the Go runtime's substitution). The default
 	// is the paper's own discipline: work-first continuation stealing.
 	HelpFirst bool
+	// Observe, when non-nil, is handed every real runtime an experiment
+	// creates, before its first Run. cmd/fibril-bench's -serve flag uses
+	// it to point the live /debug/vars metrics at the current runtime.
+	Observe func(*core.Runtime)
+}
+
+// newRuntime creates a real runtime for an experiment leg, routing it
+// through the Observe hook.
+func (o Options) newRuntime(cfg core.Config) *core.Runtime {
+	rt := core.NewRuntime(cfg)
+	if o.Observe != nil {
+		o.Observe(rt)
+	}
+	return rt
 }
 
 func (o Options) withDefaults() Options {
@@ -123,7 +137,7 @@ func Fig3(o Options) *table.Table {
 		serial := timeIt(o.Reps, func() { sink += s.Serial(a) })
 		row := []any{s.Name, a.String(), fmt.Sprintf("%.1f", serial.Mean*1e3)}
 		for _, strat := range strategies {
-			rt := core.NewRuntime(core.Config{
+			rt := o.newRuntime(core.Config{
 				Workers: 1, Strategy: strat, StackPages: 4096,
 			})
 			par := timeIt(o.Reps, func() {
@@ -417,7 +431,7 @@ func CountersSmoke(o Options) *table.Table {
 	}
 	for _, s := range o.specs() {
 		a := s.Default
-		rt := core.NewRuntime(core.Config{
+		rt := o.newRuntime(core.Config{
 			Workers: workers, Strategy: core.StrategyFibril, StackPages: 4096,
 		})
 		rt.Run(func(w *core.W) { s.Parallel(w, a) })

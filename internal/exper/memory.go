@@ -92,7 +92,7 @@ func Memory(o Options) ([]MemoryRow, *table.Table) {
 		s1p := int64(vm.PageAlign(int(m.MaxStackBytes)))
 		perStack := int64(m.FibrilDepth+1) * (s1p + 1)
 		for _, mode := range modes {
-			rt := core.NewRuntime(core.Config{
+			rt := o.newRuntime(core.Config{
 				Workers: workers, Strategy: core.StrategyFibril,
 				StackPages: 4096, UnmapBatch: mode.batch,
 				MaxResidentPages: mode.ceiling,

@@ -51,7 +51,7 @@ func StealPath(o Options) ([]StealPathRow, *table.Table) {
 		a := s.Default
 		for _, strat := range []core.Strategy{core.StrategyFibril, core.StrategyTBB} {
 			for _, kind := range core.DequeKinds() {
-				rt := core.NewRuntime(core.Config{
+				rt := o.newRuntime(core.Config{
 					Workers: workers, Strategy: strat, Deque: kind,
 					StackPages: 4096,
 				})

@@ -4,7 +4,10 @@
 // negligible").
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Summary describes a sample of measurements.
 type Summary struct {
@@ -49,4 +52,9 @@ func (s Summary) RelStd() float64 {
 		return 0
 	}
 	return s.Std / s.Mean
+}
+
+// String renders the summary compactly: "mean±std [min,max] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g±%.2g [%.4g,%.4g] (n=%d)", s.Mean, s.Std, s.Min, s.Max, s.N)
 }

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ChromeSink streams events as Chrome trace_event JSON — the array form,
+// which chrome://tracing, about:tracing, and Perfetto's legacy importer
+// all load directly. Instant scheduler events (forks, steals, suspends…)
+// become phase-"i" instants on the emitting worker's thread lane;
+// duration-carrying events (stolen-task runs, join waits) become
+// phase-"X" complete slices, so stolen tasks render as blocks and the
+// gaps between them as idleness.
+//
+// Events are written as they arrive (buffered through a bufio.Writer), so
+// a long run streams to disk instead of accumulating; Close writes the
+// closing bracket and flushes. Write errors are sticky — the first one is
+// remembered, later Consume calls become no-ops, and Close reports it.
+type ChromeSink struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	err    error
+	wrote  bool
+	closed bool
+}
+
+// NewChromeSink starts a trace_event stream on w. The caller owns w and
+// must call Close to finish the JSON document.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{bw: bufio.NewWriterSize(w, 1<<16)}
+	_, s.err = s.bw.WriteString("[")
+	return s
+}
+
+// usec renders a duration as integer microseconds with three decimals of
+// sub-microsecond precision, the unit of the trace_event "ts"/"dur"
+// fields.
+func usec(ns int64) string {
+	return fmt.Sprintf("%d.%03d", ns/1e3, ns%1e3)
+}
+
+// Consume implements Sink.
+func (s *ChromeSink) Consume(batch []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.closed {
+		return
+	}
+	for _, e := range batch {
+		sep := ","
+		if !s.wrote {
+			sep = ""
+			s.wrote = true
+		}
+		var err error
+		if e.Dur > 0 {
+			// Complete slice: ts is the start, so subtract the duration
+			// from the completion stamp (clamping at the trace origin).
+			start := int64(e.At - e.Dur)
+			if start < 0 {
+				start = 0
+			}
+			_, err = fmt.Fprintf(s.bw,
+				"%s\n{\"name\":%q,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"arg\":%d}}",
+				sep, e.Kind, usec(start), usec(int64(e.Dur)), e.Worker, e.Arg)
+		} else {
+			_, err = fmt.Fprintf(s.bw,
+				"%s\n{\"name\":%q,\"ph\":\"i\",\"ts\":%s,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":{\"arg\":%d}}",
+				sep, e.Kind, usec(int64(e.At)), e.Worker, e.Arg)
+		}
+		if err != nil {
+			s.err = err
+			return
+		}
+	}
+}
+
+// Close terminates the JSON array and flushes. It reports the first write
+// error encountered anywhere in the stream. Further Consume calls are
+// ignored.
+func (s *ChromeSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if s.err == nil {
+		_, s.err = s.bw.WriteString("\n]\n")
+	}
+	if err := s.bw.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Err returns the sticky write error, if any.
+func (s *ChromeSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -1,12 +1,19 @@
-// Package trace records scheduler events from the real runtime
-// (internal/core) for post-mortem inspection: when work was stolen, when
-// frames suspended and resumed, when stacks were unmapped. The paper's
-// Table 2 aggregates exactly these events; the tracer exposes them
-// individually, with timestamps and worker attribution, plus a text
-// timeline renderer for eyeballing load balance.
+// Package trace is the runtime's observability layer: scheduler events
+// from the real runtime (internal/core) — when work was stolen, when
+// frames suspended and resumed, when stacks were unmapped — flow through
+// per-worker ring buffers (Tracer) into a pluggable Sink. The paper's
+// Table 2 aggregates exactly these events; the sinks expose them three
+// ways:
 //
-// Tracing is opt-in (core.Config.Tracer); a nil recorder costs one
-// pointer test per event site.
+//   - Recorder buffers them for post-mortem inspection, with a text
+//     timeline renderer for eyeballing load balance;
+//   - ChromeSink streams them as Chrome trace_event JSON that loads in
+//     Perfetto / about:tracing;
+//   - MetricsSink folds them into fixed-bucket latency histograms and
+//     counters cheap enough to read while the runtime is executing.
+//
+// Tracing is opt-in (core.Config.Sink); with no sink attached every event
+// site costs one pointer test.
 package trace
 
 import (
@@ -24,7 +31,8 @@ type Kind uint8
 const (
 	// KindFork: a child task was pushed (arg: frame depth).
 	KindFork Kind = iota
-	// KindSteal: a task was stolen (arg: victim worker).
+	// KindSteal: a task was stolen (arg: victim worker; dur: how long the
+	// winning steal sweep took).
 	KindSteal
 	// KindSuspend: a frame suspended at a join (arg: stack id).
 	KindSuspend
@@ -34,11 +42,24 @@ const (
 	KindUnmap
 	// KindTaskStart: a worker began executing a stolen task (arg: depth).
 	KindTaskStart
-	// KindTaskEnd: a stolen task completed (arg: depth).
+	// KindTaskEnd: a stolen task completed (arg: depth; dur: how long the
+	// stolen task ran).
 	KindTaskEnd
 	// KindReclaim: the RSS ceiling forced a reclaim pass (arg: pages freed).
 	KindReclaim
+	// KindJoinWait: a suspended joiner resumed (arg: stack id; dur: how
+	// long it was parked). Emitted by the resumed owner, where KindResume
+	// is emitted by the finishing worker that woke it.
+	KindJoinWait
+	// KindUnmapBatch: a coalesced-unmap batch flushed (arg: unmaps issued).
+	KindUnmapBatch
+
+	// numKinds bounds the Kind space for mask and counter arrays.
+	numKinds = 10
 )
+
+// NumKinds returns the number of defined event kinds.
+func NumKinds() int { return numKinds }
 
 // String names the kind.
 func (k Kind) String() string {
@@ -59,6 +80,10 @@ func (k Kind) String() string {
 		return "end"
 	case KindReclaim:
 		return "reclaim"
+	case KindJoinWait:
+		return "joinwait"
+	case KindUnmapBatch:
+		return "unmapbatch"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -66,25 +91,31 @@ func (k Kind) String() string {
 
 // Event is one recorded scheduler event.
 type Event struct {
-	At     time.Duration // since the recorder's start
+	At     time.Duration // since the tracer's (or recorder's) start
 	Worker int           // worker slot id (-1 if unknown)
 	Kind   Kind
 	Arg    int64
+	Dur    time.Duration // duration payload for latency kinds (0 otherwise)
+	Seq    uint64        // per-worker emission order (1-based, monotonic)
 }
 
-// Recorder accumulates events. Safe for concurrent use; Record is a short
-// critical section (tracing trades some perturbation for visibility, as
-// any tracer does).
+// Recorder accumulates events in memory — the buffered post-mortem sink.
+// It implements Sink, so it can terminate a Tracer's ring buffers, and it
+// keeps the standalone Record method for direct use. Safe for concurrent
+// use; Record/Consume are short critical sections (tracing trades some
+// perturbation for visibility, as any tracer does).
 type Recorder struct {
 	start time.Time
 
-	mu     sync.Mutex
-	events []Event
-	limit  int
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped int64
+	seq     uint64 // sequence source for direct Record calls
 }
 
 // NewRecorder creates a recorder capped at limit events (0 = 1<<20).
-// Events past the cap are dropped and counted.
+// Events past the cap are dropped and counted (see Dropped).
 func NewRecorder(limit int) *Recorder {
 	if limit <= 0 {
 		limit = 1 << 20
@@ -92,7 +123,8 @@ func NewRecorder(limit int) *Recorder {
 	return &Recorder{start: time.Now(), limit: limit}
 }
 
-// Record appends an event. Nil-safe: a nil recorder ignores the call.
+// Record appends an event, stamping it against the recorder's own clock.
+// Nil-safe: a nil recorder ignores the call.
 func (r *Recorder) Record(worker int, kind Kind, arg int64) {
 	if r == nil {
 		return
@@ -100,18 +132,44 @@ func (r *Recorder) Record(worker int, kind Kind, arg int64) {
 	at := time.Since(r.start)
 	r.mu.Lock()
 	if len(r.events) < r.limit {
-		r.events = append(r.events, Event{At: at, Worker: worker, Kind: kind, Arg: arg})
+		r.seq++
+		r.events = append(r.events, Event{At: at, Worker: worker, Kind: kind, Arg: arg, Seq: r.seq})
+	} else {
+		r.dropped++
 	}
 	r.mu.Unlock()
 }
 
-// Events returns a copy of the recorded events in time order.
+// Consume implements Sink: the batch's events (already stamped and
+// sequenced by the tracer) are appended verbatim, dropping past the cap.
+func (r *Recorder) Consume(batch []Event) {
+	r.mu.Lock()
+	if room := r.limit - len(r.events); room < len(batch) {
+		r.dropped += int64(len(batch) - room)
+		batch = batch[:room]
+	}
+	r.events = append(r.events, batch...)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events, stably ordered by
+// (time, worker, per-worker sequence). The worker and sequence tiebreaks
+// keep the order deterministic when a coarse clock stamps concurrent
+// events with equal timestamps.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	out := make([]Event, len(r.events))
 	copy(out, r.events)
 	r.mu.Unlock()
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		return out[i].Seq < out[j].Seq
+	})
 	return out
 }
 
@@ -122,10 +180,19 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
+// Dropped returns how many events were discarded at the cap.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
 // Reset drops all events and restarts the clock.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.events = r.events[:0]
+	r.dropped = 0
+	r.seq = 0
 	r.start = time.Now()
 	r.mu.Unlock()
 }
@@ -168,12 +235,13 @@ func (r *Recorder) Timeline(w io.Writer, bucket time.Duration) error {
 	glyph := map[Kind]byte{
 		KindFork: 'f', KindSteal: 'S', KindSuspend: 'z',
 		KindResume: 'R', KindUnmap: 'u', KindTaskStart: '>', KindTaskEnd: '<',
-		KindReclaim: 'r',
+		KindReclaim: 'r', KindJoinWait: 'j', KindUnmapBatch: 'b',
 	}
 	// Rank kinds so rarer, more interesting events win a contested cell.
 	rank := map[Kind]int{
-		KindFork: 0, KindTaskEnd: 1, KindTaskStart: 2, KindUnmap: 3,
-		KindSteal: 4, KindResume: 5, KindSuspend: 6, KindReclaim: 7,
+		KindFork: 0, KindTaskEnd: 1, KindTaskStart: 2, KindJoinWait: 3,
+		KindUnmap: 4, KindUnmapBatch: 5, KindSteal: 6, KindResume: 7,
+		KindSuspend: 8, KindReclaim: 9,
 	}
 	lanes := make([][]byte, maxWorker+1)
 	laneRank := make([][]int, maxWorker+1)
@@ -198,7 +266,7 @@ func (r *Recorder) Timeline(w io.Writer, bucket time.Duration) error {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "timeline: %v total, %v/column; f=fork S=steal z=suspend R=resume u=unmap r=reclaim >=start <=end\n",
+	fmt.Fprintf(&b, "timeline: %v total, %v/column; f=fork S=steal z=suspend R=resume u=unmap r=reclaim j=joinwait b=batch >=start <=end\n",
 		span.Round(time.Microsecond), bucket)
 	for i, lane := range lanes {
 		fmt.Fprintf(&b, "w%-3d %s\n", i, lane)
