@@ -232,6 +232,10 @@ func BenchmarkForkJoin(b *testing.B) {
 // BenchmarkForkJoinOverhead measures the per-strategy cost of one
 // fork+join pair (Figure 3 spirit) for both deque implementations, so the
 // fork fast path's cost — and the Chase–Lev boxing cost — stay visible.
+// The forkarg lanes run the same loop through the zero-allocation
+// (code pointer, argument pointer) fork: on the THE deque they must report
+// 0 allocs/op (TestForkPathGate enforces it); on Chase–Lev the one boxing
+// allocation per push remains, by design.
 func BenchmarkForkJoinOverhead(b *testing.B) {
 	for _, strat := range []core.Strategy{
 		core.StrategyFibril, core.StrategyCilkPlus, core.StrategyTBB,
@@ -254,6 +258,21 @@ func BenchmarkForkJoinOverhead(b *testing.B) {
 				})
 			})
 		}
+	}
+	for _, kind := range core.DequeKinds() {
+		b.Run("forkarg/"+kind.String(), func(b *testing.B) {
+			rt := core.NewRuntime(core.Config{Workers: 1, Deque: kind})
+			b.ReportAllocs()
+			b.ResetTimer()
+			rt.Run(func(w *core.W) {
+				var fr core.Frame
+				w.Init(&fr)
+				for i := 0; i < b.N; i++ {
+					w.ForkArg(&fr, nopArgTask, nil)
+					w.Join(&fr)
+				}
+			})
+		})
 	}
 }
 

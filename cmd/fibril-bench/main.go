@@ -9,13 +9,14 @@
 //	fibril-bench -experiment fig3 -reps 10  # the paper's ten repetitions
 //
 // Experiments: fig3, fig4, table2, table3, table4, mmap-vs-madvise,
-// depth-restricted, stack-pool, stealpath, memory, counters, all. See
-// EXPERIMENTS.md for the mapping to the paper and the expected shapes.
+// depth-restricted, stack-pool, stealpath, forkpath, memory, counters,
+// all. See EXPERIMENTS.md for the mapping to the paper and the expected
+// shapes.
 //
-// The stealpath and memory experiments additionally support -json <path>,
+// The stealpath, forkpath, and memory experiments support -json <path>,
 // writing their rows as a JSON array — the machine-readable seeds of the
-// repo's perf trajectory (results/BENCH_stealpath.json and
-// results/BENCH_memory.json). A committed BENCH_memory.json can be
+// repo's perf trajectory (results/BENCH_stealpath.json,
+// results/BENCH_forkpath.json, and results/BENCH_memory.json). A committed BENCH_memory.json can be
 // re-validated without re-running via -validate-memory <path>, which fails
 // if the file is malformed, empty, or any row left its space envelope.
 package main
@@ -40,7 +41,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | stealpath | memory | counters | all")
+			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | stealpath | forkpath | memory | counters | all")
 		full = flag.Bool("full", false,
 			"use simulation-scale inputs and the paper's worker grid (slow)")
 		reps      = flag.Int("reps", 3, "timing repetitions for real-runtime measurements")
@@ -75,7 +76,9 @@ func main() {
 	if *list != "" {
 		opts.Benches = strings.Split(*list, ",")
 		for _, n := range opts.Benches {
-			if bench.Get(n) == nil {
+			// "for-loop" is the forkpath experiment's loop-engine
+			// pseudo-benchmark, not a registry entry.
+			if bench.Get(n) == nil && n != "for-loop" {
 				fmt.Fprintf(os.Stderr, "fibril-bench: unknown benchmark %q (have: %s)\n",
 					n, strings.Join(bench.Names(), ", "))
 				os.Exit(2)
@@ -148,6 +151,15 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	case "forkpath":
+		rows, t := exper.ForkPath(opts)
+		emit(t)
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+				os.Exit(1)
+			}
+		}
 	case "memory":
 		rows, t := exper.Memory(opts)
 		emit(t)
@@ -177,8 +189,10 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		// -json targets the stealpath rows in "all" mode; run memory for
-		// its table only.
+		// -json targets the stealpath rows in "all" mode; run forkpath
+		// and memory for their tables only.
+		_, ft := exper.ForkPath(opts)
+		emit(ft)
 		_, mt := exper.Memory(opts)
 		emit(mt)
 		emit(exper.CountersSmoke(opts))

@@ -60,8 +60,14 @@ type Spec struct {
 	// Serial runs the plain Go implementation and returns a checksum.
 	Serial func(Arg) uint64
 	// Parallel runs the Fibril-API implementation on w and returns a
-	// checksum equal to Serial's for the same Arg.
+	// checksum equal to Serial's for the same Arg. The fine-grained
+	// benchmarks implement this on the zero-allocation ForkArg path.
 	Parallel func(w *core.W, a Arg) uint64
+	// ParallelClosure, where non-nil, is the closure-fork implementation
+	// Parallel had before moving to the ForkArg fast path — retained as
+	// the baseline the forkpath experiment measures against. It satisfies
+	// the same checksum contract as Parallel.
+	ParallelClosure func(w *core.W, a Arg) uint64
 	// Tree generates the invocation tree for the simulator.
 	Tree func(Arg) invoke.Task
 }

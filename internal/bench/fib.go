@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"unsafe"
+
 	"fibril/internal/core"
 	"fibril/internal/invoke"
 )
@@ -9,6 +11,10 @@ import (
 // overhead — the paper's most extreme stress of calling-convention cost
 // (Figure 3 shows the largest runtime-to-runtime gaps on fib).
 // N is the Fibonacci index (paper: 42).
+//
+// Parallel runs on the zero-allocation ForkArg path; ParallelClosure is
+// the original closure-fork version, kept as the forkpath experiment's
+// baseline.
 var Fib = register(&Spec{
 	Name:        "fib",
 	Description: "Recursive Fibonacci",
@@ -18,6 +24,9 @@ var Fib = register(&Spec{
 	Sim:         Arg{N: 28},
 	Serial:      func(a Arg) uint64 { return uint64(fibSerial(a.N)) },
 	Parallel: func(w *core.W, a Arg) uint64 {
+		return uint64(fibArg(w, a.N))
+	},
+	ParallelClosure: func(w *core.W, a Arg) uint64 {
 		var out int64
 		fibParallel(w, a.N, &out)
 		return uint64(out)
@@ -32,7 +41,49 @@ func fibSerial(n int) int64 {
 	return fibSerial(n-1) + fibSerial(n-2)
 }
 
-// fibParallel is Listing 1's parfib: fork fib(n-1), call fib(n-2), join.
+// fibCtx is the argument record of one fib child; two of them plus the
+// join frame fit in a single arena block.
+type fibCtx struct {
+	n   int
+	res int64
+}
+
+// Both children's records must fit the block's payload.
+const _ = uint(core.ScratchBytes - unsafe.Sizeof([2]fibCtx{}))
+
+// fibArgTask is the package-level trampoline carried by the fork: a
+// static code pointer plus a *fibCtx, no closure.
+func fibArgTask(w *core.W, p unsafe.Pointer) {
+	c := (*fibCtx)(p)
+	c.res = fibArg(w, c.n)
+}
+
+// fibArg is Listing 1's parfib on the ForkArg fast path: the frame and
+// both argument records live in one Scratch block, so the steady state
+// performs no heap allocation at all. The payload holds no pointers, so
+// the arena's unscanned-buffer contract is trivially satisfied; the
+// block is released only after Join has quiesced it (fib cannot panic,
+// so the no-release-on-unwind rule is moot).
+func fibArg(w *core.W, n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	s := w.AcquireScratch()
+	pay := (*[2]fibCtx)(s.Ptr())
+	pay[0].n = n - 1
+	pay[1].n = n - 2
+	fr := s.Frame()
+	w.Init(fr)
+	w.ForkArgSized(fr, frameSmall, fibArgTask, unsafe.Pointer(&pay[0]))
+	w.CallArgSized(frameSmall, fibArgTask, unsafe.Pointer(&pay[1]))
+	w.Join(fr)
+	res := pay[0].res + pay[1].res
+	w.ReleaseScratch(s)
+	return res
+}
+
+// fibParallel is Listing 1's parfib with closure forks — the pre-ForkArg
+// implementation, the baseline of the forkpath experiment.
 func fibParallel(w *core.W, n int, out *int64) {
 	if n < 2 {
 		*out = int64(n)

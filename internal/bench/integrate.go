@@ -2,6 +2,7 @@ package bench
 
 import (
 	"math"
+	"unsafe"
 
 	"fibril/internal/core"
 	"fibril/internal/invoke"
@@ -26,6 +27,10 @@ var Integrate = register(&Spec{
 		return f64bits(v)
 	},
 	Parallel: func(w *core.W, a Arg) uint64 {
+		x2 := float64(a.N)
+		return f64bits(integrateArg(w, 0, x2, integrandAt(0), integrandAt(x2), epsFor(a)))
+	},
+	ParallelClosure: func(w *core.W, a Arg) uint64 {
 		x2 := float64(a.N)
 		var v float64
 		integrateParallel(w, 0, x2, integrandAt(0), integrandAt(x2), epsFor(a), &v)
@@ -63,6 +68,47 @@ func integrateSerial(x1, x2, y1, y2, eps float64) float64 {
 		integrateSerial(xm, x2, ym, y2, eps/2)
 }
 
+// intgCtx is one half-interval's argument record; two of them plus the
+// join frame fit in a single arena block (pointer-free payload, so the
+// arena's unscanned-buffer contract is trivially satisfied).
+type intgCtx struct {
+	x1, x2, y1, y2, eps, res float64
+}
+
+const _ = uint(core.ScratchBytes - unsafe.Sizeof([2]intgCtx{}))
+
+func intgArgTask(w *core.W, p unsafe.Pointer) {
+	c := (*intgCtx)(p)
+	c.res = integrateArg(w, c.x1, c.x2, c.y1, c.y2, c.eps)
+}
+
+// integrateArg is the bisection recursion on the zero-allocation ForkArg
+// path. Combining pay[0].res + pay[1].res preserves the closure
+// version's left + right operation order, so the checksum is identical.
+func integrateArg(w *core.W, x1, x2, y1, y2, eps float64) float64 {
+	xm := (x1 + x2) / 2
+	ym := integrandAt(xm)
+	whole := (y1 + y2) * (x2 - x1) / 2
+	halves := (y1+ym)*(xm-x1)/2 + (ym+y2)*(x2-xm)/2
+	if math.Abs(halves-whole) < eps {
+		return halves
+	}
+	s := w.AcquireScratch()
+	pay := (*[2]intgCtx)(s.Ptr())
+	pay[0] = intgCtx{x1: x1, x2: xm, y1: y1, y2: ym, eps: eps / 2}
+	pay[1] = intgCtx{x1: xm, x2: x2, y1: ym, y2: y2, eps: eps / 2}
+	fr := s.Frame()
+	w.Init(fr)
+	w.ForkArgSized(fr, frameMedium, intgArgTask, unsafe.Pointer(&pay[0]))
+	w.CallArgSized(frameMedium, intgArgTask, unsafe.Pointer(&pay[1]))
+	w.Join(fr)
+	v := pay[0].res + pay[1].res
+	w.ReleaseScratch(s)
+	return v
+}
+
+// integrateParallel is the closure-fork implementation, retained as the
+// forkpath experiment's baseline.
 func integrateParallel(w *core.W, x1, x2, y1, y2, eps float64, out *float64) {
 	xm := (x1 + x2) / 2
 	ym := integrandAt(xm)

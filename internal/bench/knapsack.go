@@ -3,6 +3,7 @@ package bench
 import (
 	"sort"
 	"sync/atomic"
+	"unsafe"
 
 	"fibril/internal/core"
 	"fibril/internal/invoke"
@@ -31,6 +32,12 @@ var Knapsack = register(&Spec{
 		return uint64(best)
 	},
 	Parallel: func(w *core.W, a Arg) uint64 {
+		items, cap := ksInput(a.N)
+		var best atomic.Int64
+		ksArg(w, items, 0, cap, 0, &best)
+		return uint64(best.Load())
+	},
+	ParallelClosure: func(w *core.W, a Arg) uint64 {
 		items, cap := ksInput(a.N)
 		var best atomic.Int64
 		ksParallel(w, items, 0, cap, 0, &best)
@@ -111,6 +118,55 @@ func atomicMax(a *atomic.Int64, v int64) {
 	}
 }
 
+// ksCtx is one branch's argument record. Unlike fib's, it carries
+// pointers (the items slice header and the shared incumbent) through the
+// arena's unscanned payload; both stay independently reachable the whole
+// time a child is in flight — the forking ksArg's own items parameter
+// and the root caller's best live across the Join — as the arena's
+// contract requires.
+type ksCtx struct {
+	items []ksItem
+	i     int
+	cap   int64
+	value int64
+	best  *atomic.Int64
+}
+
+const _ = uint(core.ScratchBytes - unsafe.Sizeof([2]ksCtx{}))
+
+func ksArgTask(w *core.W, p unsafe.Pointer) {
+	c := (*ksCtx)(p)
+	ksArg(w, c.items, c.i, c.cap, c.value, c.best)
+}
+
+// ksArg is branch-and-bound on the zero-allocation ForkArg path: take
+// branch forked, skip branch called, both argument records and the join
+// frame in one arena block.
+func ksArg(w *core.W, items []ksItem, i int, cap, value int64, best *atomic.Int64) {
+	atomicMax(best, value)
+	if i == len(items) || cap == 0 {
+		return
+	}
+	if ksBound(items, i, cap, value) <= best.Load() {
+		return
+	}
+	s := w.AcquireScratch()
+	pay := (*[2]ksCtx)(s.Ptr())
+	fr := s.Frame()
+	w.Init(fr)
+	if items[i].weight <= cap {
+		pay[0] = ksCtx{items: items, i: i + 1, cap: cap - items[i].weight,
+			value: value + items[i].value, best: best}
+		w.ForkArgSized(fr, frameMedium, ksArgTask, unsafe.Pointer(&pay[0]))
+	}
+	pay[1] = ksCtx{items: items, i: i + 1, cap: cap, value: value, best: best}
+	w.CallArgSized(frameMedium, ksArgTask, unsafe.Pointer(&pay[1]))
+	w.Join(fr)
+	w.ReleaseScratch(s)
+}
+
+// ksParallel is the closure-fork implementation, retained as the
+// forkpath experiment's baseline.
 func ksParallel(w *core.W, items []ksItem, i int, cap, value int64, best *atomic.Int64) {
 	atomicMax(best, value)
 	if i == len(items) || cap == 0 {

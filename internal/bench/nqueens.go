@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"unsafe"
+
 	"fibril/internal/core"
 	"fibril/internal/invoke"
 )
@@ -19,6 +21,9 @@ var NQueens = register(&Spec{
 	Sim:         Arg{N: 12},
 	Serial:      func(a Arg) uint64 { return uint64(nqSerial(a.N, 0, 0, 0)) },
 	Parallel: func(w *core.W, a Arg) uint64 {
+		return uint64(nqArg(w, a.N, 0, 0, 0))
+	},
+	ParallelClosure: func(w *core.W, a Arg) uint64 {
 		var out int64
 		nqParallel(w, a.N, 0, 0, 0, &out)
 		return uint64(out)
@@ -51,9 +56,86 @@ func popcount(x uint32) uint32 {
 	return c
 }
 
-// nqParallel forks one child per candidate column; results land in
-// per-child slots, summed after the join — no shared counters on the hot
-// path.
+// nqCtx is one child subtree's argument record (pointer-free).
+type nqCtx struct {
+	n                  int
+	cols, diag1, diag2 uint32
+	res                int64
+}
+
+// nqPerBlock argument records pack into one arena block's payload.
+const nqPerBlock = 4
+
+const _ = uint(core.ScratchBytes - nqPerBlock*unsafe.Sizeof(nqCtx{}))
+
+// nqBlockMax blocks cover the widest possible row: the column masks are
+// uint32, so a board never has more than 32 candidate columns.
+const nqBlockMax = 32 / nqPerBlock
+
+func nqCtxAt(blocks *[nqBlockMax]*core.Scratch, k int) *nqCtx {
+	return &(*[nqPerBlock]nqCtx)(blocks[k/nqPerBlock].Ptr())[k%nqPerBlock]
+}
+
+func nqArgTask(w *core.W, p unsafe.Pointer) {
+	c := (*nqCtx)(p)
+	c.res = nqArg(w, c.n, c.cols, c.diag1, c.diag2)
+}
+
+// nqArg forks one child per candidate column on the zero-allocation
+// ForkArg path. A row's fan-out exceeds one block's payload, so argument
+// records chain across up to nqBlockMax arena blocks — the first also
+// carries the join frame — all released once the join quiesces them.
+// Results are summed in fork order, matching the closure version's
+// checksum exactly.
+func nqArg(w *core.W, n int, cols, diag1, diag2 uint32) int64 {
+	row := popcount(cols)
+	if int(row) == n {
+		return 1
+	}
+	full := uint32(1<<n) - 1
+	avail := full &^ (cols | diag1 | diag2)
+	if avail == 0 {
+		return 0
+	}
+	// The last few rows run serially: forking single-row subtrees would be
+	// all overhead, and the Cilk version bottoms out the same way.
+	if int(row) >= n-3 {
+		return nqSerial(n, cols, diag1, diag2)
+	}
+	var blocks [nqBlockMax]*core.Scratch
+	blocks[0] = w.AcquireScratch()
+	nb := 1
+	fr := blocks[0].Frame()
+	w.Init(fr)
+	k := 0
+	for avail != 0 {
+		bit := avail & (-avail)
+		avail &^= bit
+		if k/nqPerBlock >= nb {
+			blocks[nb] = w.AcquireScratch()
+			nb++
+		}
+		c := nqCtxAt(&blocks, k)
+		*c = nqCtx{n: n, cols: cols | bit,
+			diag1: (diag1 | bit) << 1 & full, diag2: (diag2 | bit) >> 1}
+		w.ForkArgSized(fr, frameLarge, nqArgTask, unsafe.Pointer(c))
+		k++
+	}
+	w.Join(fr)
+	var total int64
+	for i := 0; i < k; i++ {
+		total += nqCtxAt(&blocks, i).res
+	}
+	for i := nb - 1; i >= 0; i-- {
+		w.ReleaseScratch(blocks[i])
+	}
+	return total
+}
+
+// nqParallel is the closure-fork implementation, retained as the
+// forkpath experiment's baseline: one child per candidate column;
+// results land in per-child slots, summed after the join — no shared
+// counters on the hot path.
 func nqParallel(w *core.W, n int, cols, diag1, diag2 uint32, out *int64) {
 	row := popcount(cols)
 	if int(row) == n {

@@ -90,6 +90,38 @@ func TestDifferentialPanicPrograms(t *testing.T) {
 	}
 }
 
+// TestDifferentialLazyPrograms mixes lazy fork edges into the generated
+// programs: the real runtime resolves each one at run time via
+// W.ShouldSplit (fork on an idle system, plain call on a busy one), the
+// simulator forks them all, and the oracles hold the two accountings to
+// the edge-conservation law. Combined with compile()'s deterministic
+// ForkArg/Scratch alternation this drives the zero-allocation fork path
+// and arena recycling through the full differential matrix.
+func TestDifferentialLazyPrograms(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	withLazy := 0
+	for seed := 0; seed < n; seed++ {
+		seed := uint64(seed)
+		p := Generate(seed, Params{LazyPct: 40})
+		if p.LazyEdges > 0 {
+			withLazy++
+		}
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			p := Generate(seed, Params{LazyPct: 40})
+			if err := Differential(p, Options{}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	if withLazy == 0 {
+		t.Error("no program drew a lazy edge; raise LazyPct or the seed range")
+	}
+}
+
 // TestDifferentialAdversarialParams pushes the generator to its corners:
 // schedule-only programs (zero work everywhere is approximated by MaxWork=1),
 // wide flat loops, and deep call-heavy nests.

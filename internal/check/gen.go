@@ -50,6 +50,15 @@ type Params struct {
 	// the simulator does not model panics, so programs with PanicPct > 0
 	// are for the real runtime only. Default 0.
 	PanicPct int
+	// LazyPct is the percentage of fork edges generated as LAZY edges:
+	// the executor decides fork-vs-call at run time with W.ShouldSplit —
+	// the shape loops.For's steal-driven lazy splitter lowers to. The
+	// exactly-once and quiescence oracles hold regardless of how the
+	// decisions fall; the Forks/Calls equalities relax to a conservation
+	// law. Lazy edges are suppressed in panic-mode programs (a lazy edge
+	// degrading to a call would let a panic bypass the calls-before-forks
+	// ordering above). Default 0, so existing seeds replay bit-identically.
+	LazyPct int
 }
 
 // DefaultParams returns the generator defaults used by the conformance
@@ -93,22 +102,29 @@ func (p Params) withDefaults() Params {
 	if p.PanicPct < 0 || p.PanicPct > 100 {
 		p.PanicPct = 0
 	}
+	if p.LazyPct < 0 || p.LazyPct > 100 || p.PanicPct > 0 {
+		p.LazyPct = 0
+	}
 	return p
 }
 
 func (p Params) String() string {
-	return fmt.Sprintf("nodes≤%d depth≤%d fanout≤%d calls≤%d work≤%d frame=[%d,%d] loop%%=%d panic%%=%d",
+	return fmt.Sprintf("nodes≤%d depth≤%d fanout≤%d calls≤%d work≤%d frame=[%d,%d] loop%%=%d panic%%=%d lazy%%=%d",
 		p.MaxNodes, p.MaxDepth, p.MaxFanout, p.MaxCalls, p.MaxWork,
-		p.FrameMin, p.FrameMax, p.LoopPct, p.PanicPct)
+		p.FrameMin, p.FrameMax, p.LoopPct, p.PanicPct, p.LazyPct)
 }
 
 // Seg is one segment of a generated node's body, mirroring invoke.Seg's
 // within-segment order: serial work, then a synchronous call, then a fork,
-// then an optional join of all children forked so far.
+// then an optional join of all children forked so far. A fork edge with
+// Lazy set leaves the fork-vs-call decision to the executor at run time
+// (W.ShouldSplit on the real runtime; the simulator and the serial
+// elision always fork it, the canonical reading of the DAG).
 type Seg struct {
 	Work int64
 	Call *Node
 	Fork *Node
+	Lazy bool
 	Join bool
 }
 
@@ -139,15 +155,16 @@ type Program struct {
 	Params Params
 	Root   *Node
 
-	Nodes  int // total function instances
-	Forks  int // fork edges
-	Calls  int // call edges
-	Panics int // panic-injected leaves
+	Nodes     int // total function instances
+	Forks     int // unconditional fork edges
+	Calls     int // call edges
+	LazyEdges int // fork edges whose fork-vs-call decision is taken at run time
+	Panics    int // panic-injected leaves
 }
 
 func (p *Program) String() string {
-	return fmt.Sprintf("program(seed=%#x nodes=%d forks=%d calls=%d panics=%d)",
-		p.Seed, p.Nodes, p.Forks, p.Calls, p.Panics)
+	return fmt.Sprintf("program(seed=%#x nodes=%d forks=%d calls=%d lazy=%d panics=%d)",
+		p.Seed, p.Nodes, p.Forks, p.Calls, p.LazyEdges, p.Panics)
 }
 
 // rng is splitmix64 — tiny, seedable, and good enough for shape decisions.
@@ -247,8 +264,14 @@ func (p *Program) genLoop(r *rng, n *Node, depth int, budget *int) {
 	for i := 0; i < width && *budget > 0; i++ {
 		*budget--
 		child := p.gen(r, depth+1, budget)
-		p.Forks++
-		n.Segs = append(n.Segs, Seg{Work: p.work(r) / 4, Fork: child})
+		seg := Seg{Work: p.work(r) / 4, Fork: child}
+		if r.pct(p.Params.LazyPct) {
+			seg.Lazy = true
+			p.LazyEdges++
+		} else {
+			p.Forks++
+		}
+		n.Segs = append(n.Segs, seg)
 	}
 	n.Segs = append(n.Segs, Seg{Work: p.work(r), Join: true})
 }
@@ -287,7 +310,12 @@ func (p *Program) genMixed(r *rng, n *Node, depth int, budget *int) {
 		seg := Seg{Work: p.work(r)}
 		if e.fork {
 			seg.Fork = child
-			p.Forks++
+			if r.pct(p.Params.LazyPct) {
+				seg.Lazy = true
+				p.LazyEdges++
+			} else {
+				p.Forks++
+			}
 			forked = true
 		} else {
 			seg.Call = child

@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 
 	"fibril/internal/core"
 	"fibril/internal/invoke"
@@ -51,6 +52,24 @@ func (p *Program) Body(counts []uint32) func(*core.W) {
 	return p.compile(p.Root, counts)
 }
 
+// bodyTramp adapts a compiled closure to the ForkArg calling convention:
+// the payload is a pointer to the closure value in the parent's compiled
+// segment table. The table is ordinary scanned memory kept alive by the
+// parent body (blocked at its Join while children are in flight), so the
+// arena's reachability contract is met without any extra pinning.
+func bodyTramp(w *core.W, p unsafe.Pointer) {
+	(*(*func(*core.W))(p))(w)
+}
+
+// compile lowers one node. Fork edges alternate deterministically (by
+// node ID and segment index) between the closure fork and the
+// zero-allocation ForkArg path, and forking nodes alternate between a
+// stack-declared Frame and an arena Scratch block, so every conformance
+// and fuzz run differentially exercises both fork representations and
+// arena recycling — including the no-release-on-unwind rule: a panic
+// surfacing at Join skips ReleaseScratch naturally, leaking the block to
+// the GC as the arena contract requires. Lazy edges consult
+// W.ShouldSplit and degrade to plain calls on a busy worker.
 func (p *Program) compile(n *Node, counts []uint32) func(*core.W) {
 	type cseg struct {
 		work      int64
@@ -58,6 +77,8 @@ func (p *Program) compile(n *Node, counts []uint32) func(*core.W) {
 		callBytes int
 		fork      func(*core.W)
 		forkBytes int
+		useArg    bool
+		lazy      bool
 		join      bool
 	}
 	segs := make([]cseg, len(n.Segs))
@@ -71,15 +92,24 @@ func (p *Program) compile(n *Node, counts []uint32) func(*core.W) {
 		if s.Fork != nil {
 			segs[i].fork = p.compile(s.Fork, counts)
 			segs[i].forkBytes = s.Fork.Frame
+			segs[i].useArg = (n.ID+i)%2 == 0
+			segs[i].lazy = s.Lazy
 		}
 	}
 	hasFork := n.forks()
+	useScratch := hasFork && n.ID%2 == 1
 	id, seed, doPanic := n.ID, p.Seed, n.Panic
 	return func(w *core.W) {
 		atomic.AddUint32(&counts[id], 1)
 		var fr core.Frame
+		frp := &fr
+		var scratch *core.Scratch
 		if hasFork {
-			w.Init(&fr)
+			if useScratch {
+				scratch = w.AcquireScratch()
+				frp = scratch.Frame()
+			}
+			w.Init(frp)
 		}
 		forked := false
 		for i := range segs {
@@ -91,16 +121,28 @@ func (p *Program) compile(n *Node, counts []uint32) func(*core.W) {
 				w.CallSized(s.callBytes, s.call)
 			}
 			if s.fork != nil {
-				w.ForkSized(&fr, s.forkBytes, s.fork)
-				forked = true
+				switch {
+				case s.lazy && !w.ShouldSplit():
+					w.CallSized(s.forkBytes, s.fork)
+				case s.useArg:
+					w.ForkArgSized(frp, s.forkBytes, bodyTramp, unsafe.Pointer(&s.fork))
+					forked = true
+				default:
+					w.ForkSized(frp, s.forkBytes, s.fork)
+					forked = true
+				}
 			}
 			if s.join && forked {
-				w.Join(&fr)
+				w.Join(frp)
 				forked = false
 			}
 		}
 		if forked {
-			w.Join(&fr)
+			w.Join(frp)
+		}
+		if scratch != nil {
+			// Quiescent: every Join above returned without panicking.
+			w.ReleaseScratch(scratch)
 		}
 		if doPanic {
 			panic(InjectedPanic{Seed: seed, Node: id})

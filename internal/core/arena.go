@@ -1,0 +1,97 @@
+package core
+
+import "unsafe"
+
+// This file implements the per-worker-slot free-list arena behind the
+// zero-allocation fork path, after Blelloch & Wei's per-processor
+// fixed-size constant-time allocation: every block is the same size, each
+// worker slot owns a private free list, and allocation/free are a pointer
+// pop/push with no atomics — slot occupancy is exclusive, and slot
+// handoffs (suspend/resume, thief retirement) already establish
+// happens-before edges. Blocks migrate freely between slots: a block
+// acquired on one slot may be released on whichever slot its releaser
+// occupies by then, which is exactly how Blelloch–Wei keeps per-processor
+// pools balanced without a global structure.
+
+// ScratchBytes is the size of a Scratch block's payload area.
+const ScratchBytes = 16 * 8
+
+// arenaHoardCap bounds a slot's free list. Beyond it a released block is
+// simply dropped for the GC to collect — the "heap under pressure"
+// fallback, which also keeps a burst of deep recursion from pinning an
+// unbounded hoard on one slot forever.
+const arenaHoardCap = 64
+
+// Scratch is one fixed-size arena block: a Frame plus ScratchBytes of
+// payload for the fork's argument record, so one block carries everything
+// a ForkArg spawn needs. Acquire with W.AcquireScratch, release with
+// W.ReleaseScratch after the frame's Join has returned.
+//
+// The payload area is untyped and NOT scanned by the garbage collector
+// (it is pointer-free memory). A pointer stored in it keeps nothing
+// alive: callers must guarantee every object referenced from the payload
+// is independently reachable — e.g. from a live local, a parameter kept
+// alive with runtime.KeepAlive, or another scanned structure — for as
+// long as the block is in flight. The loop engine and the benchmarks
+// satisfy this by keeping the user's closures and result slots alive in
+// the root caller's frame for the duration.
+type Scratch struct {
+	next  *Scratch // free-list link; nil while the block is in flight
+	frame Frame
+	buf   [ScratchBytes / 8]uint64
+}
+
+// Frame returns the block's embedded Frame, ready for W.Init.
+func (s *Scratch) Frame() *Frame { return &s.frame }
+
+// Ptr returns the payload area, to be cast to the caller's argument
+// record type (at most ScratchBytes large; see the type comment for the
+// reachability contract).
+func (s *Scratch) Ptr() unsafe.Pointer { return unsafe.Pointer(&s.buf[0]) }
+
+// frameArena is one slot's private free list of Scratch blocks.
+type frameArena struct {
+	free *Scratch
+	n    int
+}
+
+// AcquireScratch returns a Scratch block: from the current slot's free
+// list when one is hoarded (the steady-state, allocation-free path), from
+// the heap otherwise. Slotless workers (goroutine baseline) always take
+// the heap path.
+func (w *W) AcquireScratch() *Scratch {
+	if w.slot != nil {
+		if s := w.slot.arena.free; s != nil {
+			w.slot.arena.free = s.next
+			w.slot.arena.n--
+			s.next = nil
+			return s
+		}
+	}
+	return new(Scratch)
+}
+
+// ReleaseScratch returns s to the current slot's free list. It must only
+// be called once the block is quiescent: the Join on its frame has
+// returned and no task still holds the payload pointer. It must NOT be
+// called on a panic unwind — an in-flight child may still reference the
+// block, so leaking it to the GC is the only safe disposal; the callers'
+// release sites are skipped by unwinding naturally, never deferred.
+//
+// The frame's references are dropped so a hoarded block pins nothing; the
+// resume channel is deliberately kept, making repeat suspensions on
+// recycled frames allocation-free.
+func (w *W) ReleaseScratch(s *Scratch) {
+	if w.slot == nil || !w.arenaOK || w.slot.arena.n >= arenaHoardCap {
+		return // heap fallback: the GC takes it
+	}
+	f := &s.frame
+	f.count.Store(0)
+	f.stack = nil
+	f.parent = nil
+	f.pendingReclaim = nil
+	f.panicked = nil
+	s.next = w.slot.arena.free
+	w.slot.arena.free = s
+	w.slot.arena.n++
+}

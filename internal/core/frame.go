@@ -20,14 +20,20 @@ import (
 // The zero Frame is not ready; W.Init must run before the first Fork, just
 // as fibril_init must precede the first fibril_fork.
 type Frame struct {
-	// count is the number of pending child tasks. The paper's count fills
-	// the same role with work-first bookkeeping (incremented on first
-	// steal); with child stealing it is simply forks minus completions.
+	// count is the number of pending child tasks, with the owner's
+	// suspension state folded into bit 30 (frameSuspended). The paper's
+	// count fills the same role with work-first bookkeeping (incremented on
+	// first steal); with child stealing the low bits are simply forks minus
+	// completions. Folding the flag into the same word makes the last
+	// child's decrement atomically reveal whether it must resume a parked
+	// owner — and, crucially for arena-recycled frames, makes that
+	// decrement the child's *final* touch of the frame when the owner never
+	// suspended, so the owner may reuse the memory the moment it observes
+	// zero.
 	count atomic.Int32
 
-	mu        sync.Mutex
-	suspended bool
-	resume    chan *worker // carries the finisher's slot to the parked owner
+	mu     sync.Mutex   // guards panicked only
+	resume chan *worker // carries the finisher's slot to the parked owner
 
 	// Saved execution state, the analogue of fibril_t.state{rbp,rsp,rip}
 	// plus fibril_t.stack: which simulated stack the frame lives on and
@@ -47,11 +53,15 @@ type Frame struct {
 	panicked *TaskPanic // first panic among the frame's children
 }
 
+// frameSuspended is the bit the owner sets in Frame.count when it commits
+// a suspension: well above any real fork count, well below the sign bit.
+const frameSuspended = int32(1) << 30
+
 // Depth returns the invocation-tree depth recorded at Init.
 func (f *Frame) Depth() int { return int(f.depth) }
 
 // Pending returns the number of outstanding children (racy snapshot).
-func (f *Frame) Pending() int { return int(f.count.Load()) }
+func (f *Frame) Pending() int { return int(f.count.Load() &^ frameSuspended) }
 
 // isDescendantOf reports whether f is a proper descendant of ancestor in
 // the frame ancestry — the eligibility test of leapfrogging.
@@ -68,7 +78,6 @@ func (f *Frame) isDescendantOf(ancestor *Frame) bool {
 // current invocation depth, and the enclosing frame for ancestry tracking.
 func (w *W) Init(f *Frame) {
 	f.count.Store(0)
-	f.suspended = false
 	f.stack = w.stack
 	f.watermark = 0
 	f.depth = w.depth
@@ -82,20 +91,23 @@ func (w *W) Init(f *Frame) {
 // parked owner, transferring the caller's worker slot to it (Listing 3
 // lines 68–75); the caller must then stop using the slot and, if it reports
 // a handoff, retire its stack to the pool.
+//
+// The decrement is the caller's LAST touch of the frame unless it observes
+// the suspend bit alone — the owner relies on that to recycle arena-backed
+// frames immediately after Join observes a zero count. When the bit is
+// observed the owner is parked on f.resume and nobody else can reach the
+// frame, so the resume fields are read without a lock (the owner's
+// commit CAS published them; this Add on the same word acquired them).
 func (w *W) childDone(f *Frame) (handoff bool) {
-	if f.count.Add(-1) != 0 {
-		return false
+	if f.count.Add(-1) != frameSuspended {
+		return false // siblings remain, or the owner never suspended
 	}
-	f.mu.Lock()
-	if !f.suspended {
-		f.mu.Unlock()
-		return false
-	}
-	f.suspended = false
+	// Last child of a suspended frame: take over the resume state, clear
+	// the flag, and wake the owner.
 	ch := f.resume
 	t := f.pendingReclaim
 	f.pendingReclaim = nil
-	f.mu.Unlock()
+	f.count.Store(0)
 
 	// Cancel the suspension's deferred unmap, if a batch flush has not
 	// resolved it yet — strictly before the resume signal below, so no
@@ -121,20 +133,19 @@ func (w *W) childDone(f *Frame) (handoff bool) {
 // slot to a fresh thief. It returns false if the children finished before
 // the suspension could be committed.
 func (w *W) suspend(f *Frame) bool {
-	f.mu.Lock()
-	if f.count.Load() == 0 {
-		f.mu.Unlock()
-		return false
-	}
-	f.suspended = true
+	// Prepare the resume state BEFORE committing the suspension: the child
+	// that observes the suspend bit reads these fields without a lock, so
+	// they must be published by the commit CAS below. The channel is
+	// allocated once and survives both frame reuse (Init leaves it) and
+	// arena recycling, so repeat suspensions are allocation-free.
 	if f.resume == nil {
 		f.resume = make(chan *worker, 1)
 	}
 	f.watermark = w.stack.Bytes()
 	rt := w.rt
-	// Coalesced-unmap mode: decide the suspension's unmap fate inside the
-	// commit, so a racing childDone — which can run the instant the lock
-	// drops — always sees the ticket and cancels it before resuming us.
+	// Coalesced-unmap mode: decide the suspension's unmap fate before the
+	// commit, so a racing childDone — which can run the instant the CAS
+	// lands — always sees the ticket and cancels it before resuming us.
 	var ticket *reclaimTicket
 	gated := false
 	if rt.cfg.Strategy == StrategyFibril && rt.reclaim.batched() {
@@ -145,7 +156,19 @@ func (w *W) suspend(f *Frame) bool {
 			gated = true
 		}
 	}
-	f.mu.Unlock()
+	// Commit: set the suspend bit while children remain. Failing with a
+	// zero count means they all finished during the preparation above —
+	// nobody saw the bit, so nobody read the staged state; back out.
+	for {
+		c := f.count.Load()
+		if c == 0 {
+			f.pendingReclaim = nil
+			return false
+		}
+		if f.count.CompareAndSwap(c, c|frameSuspended) {
+			break
+		}
+	}
 
 	w.stats.suspends.Add(1)
 	rt.trc.Emit(w.slotID(), trace.KindSuspend, int64(w.stack.ID()), 0)

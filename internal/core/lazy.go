@@ -1,0 +1,113 @@
+package core
+
+import (
+	"runtime"
+	"unsafe"
+)
+
+// This file implements steal-driven lazy loop splitting (in the spirit of
+// Tzannes et al.'s lazy binary splitting): instead of eagerly forking a
+// closure per half-range down to the grain — O(n/grain) allocations and
+// deque operations whether or not anyone is idle — the owner runs the
+// range as tight serial chunks and probes ShouldSplit between chunks,
+// forking the far half only when the probe says a thief could use it.
+// Each split is a ForkArg of a loopDesc stored in an arena Scratch block,
+// so a split costs no heap allocation either.
+
+// loopDesc is the argument record of a lazily-split loop task, stored in
+// a Scratch payload (32 bytes, well under ScratchBytes).
+type loopDesc struct {
+	lo, hi, grain int
+	body          func(*W, int)
+}
+
+// AutoGrain picks a serial grain from the range size alone. It is
+// deliberately independent of the worker count: loop results that depend
+// on the grain (Reduce's combine-tree shape) stay identical at every P,
+// and a range's chunking is reproducible run to run. The divisor leaves
+// a few hundred potential chunks for load balancing; the cap keeps
+// per-chunk probe latency bounded on huge ranges.
+func AutoGrain(n int) int {
+	g := n / 256
+	if g < 1 {
+		g = 1
+	}
+	if g > 2048 {
+		g = 2048
+	}
+	return g
+}
+
+// LazyFor runs body(i) for every i in [lo, hi) with steal-driven lazy
+// splitting. grain is the largest range executed as one serial chunk;
+// grain <= 0 selects AutoGrain. Iterations must be independent; a panic
+// in any iteration surfaces at the caller (first panic wins).
+func LazyFor(w *W, lo, hi, grain int, body func(*W, int)) {
+	if hi <= lo {
+		return
+	}
+	if grain <= 0 {
+		grain = AutoGrain(hi - lo)
+	}
+	if hi-lo <= grain {
+		for i := lo; i < hi; i++ {
+			body(w, i)
+		}
+		return
+	}
+	w.lazyRun(w.AcquireScratch(), lo, hi, grain, body)
+	// Loop descriptors live in unscanned Scratch payloads, so they keep
+	// nothing alive; this pins the body closure (the one object every
+	// descriptor points at) until the last chunk has run.
+	runtime.KeepAlive(body)
+}
+
+// loopTramp is the task body of a lazily-split loop half: recover the
+// descriptor from the Scratch payload and keep splitting. Being a
+// package-level function, its func value is static — no allocation.
+func loopTramp(w *W, p unsafe.Pointer) {
+	s := (*Scratch)(p)
+	d := (*loopDesc)(s.Ptr())
+	w.lazyRun(s, d.lo, d.hi, d.grain, d.body)
+}
+
+// lazyRun executes [lo, hi) with lazy splitting, forking on own's frame
+// and releasing own on normal completion. On a panic unwind the release
+// is skipped deliberately: the block leaks to the GC, because recycling a
+// frame that pending siblings may still reference would corrupt it (see
+// ReleaseScratch).
+func (w *W) lazyRun(own *Scratch, lo, hi, grain int, body func(*W, int)) {
+	fr := own.Frame()
+	forked := false
+	for hi-lo > grain {
+		if w.ShouldSplit() {
+			// Somebody is hungry: hand off the far half, keep the near
+			// half. Splitting at the midpoint (rather than peeling one
+			// grain) keeps the handed-off piece large, so span stays
+			// O(log n) splits deep like the eager divide-and-conquer.
+			mid := lo + (hi-lo)/2
+			child := w.AcquireScratch()
+			d := (*loopDesc)(child.Ptr())
+			d.lo, d.hi, d.grain, d.body = mid, hi, grain, body
+			if !forked {
+				w.Init(fr)
+				forked = true
+			}
+			w.ForkArg(fr, loopTramp, unsafe.Pointer(child))
+			hi = mid
+			continue
+		}
+		// Saturated: run one grain serially, then re-probe.
+		end := lo + grain
+		for ; lo < end; lo++ {
+			body(w, lo)
+		}
+	}
+	for ; lo < hi; lo++ {
+		body(w, lo)
+	}
+	if forked {
+		w.Join(fr)
+	}
+	w.ReleaseScratch(own)
+}

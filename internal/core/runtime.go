@@ -47,6 +47,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"fibril/internal/deque"
 	"fibril/internal/stack"
@@ -197,14 +198,15 @@ func PoolKinds() []PoolKind { return []PoolKind{PoolSharded, PoolGlobal} }
 
 // taskDeque abstracts over the deque implementations so every strategy —
 // including the restricted-stealing ones, which need StealIf — runs
-// unchanged on either. Push and Pop are owner-only; Steal, StealIf and Len
-// may be called from any goroutine.
+// unchanged on either. Push, Pop and LazyHint are owner-only; Steal,
+// StealIf and Len may be called from any goroutine.
 type taskDeque interface {
 	Push(task)
 	Pop() (task, bool)
 	Steal() (task, bool)
 	StealIf(func(task) bool) (task, bool)
 	Len() int
+	LazyHint() bool
 }
 
 func newTaskDeque(k DequeKind) taskDeque {
@@ -301,11 +303,21 @@ type worker struct {
 	deque      taskDeque
 	rng        rng
 	lastVictim int // most recent successful victim slot; -1 when none
+
+	// arena is the slot's Blelloch–Wei-style free list of fixed-size
+	// Scratch blocks (frame + fork payload); only the goroutine currently
+	// occupying the slot touches it, so Acquire/Release need no atomics.
+	arena frameArena
 }
 
-// task is a forked child waiting in a deque.
+// task is a forked child waiting in a deque. A child is either a closure
+// (fn) or a code-pointer/argument pair (argfn, arg) — the latter is the
+// zero-allocation fork representation: both words are plain pointers that
+// travel through the deque by value, so nothing escapes per fork.
 type task struct {
 	fn    func(*W)
+	argfn func(*W, unsafe.Pointer)
+	arg   unsafe.Pointer
 	frame *Frame // parent frame to notify on completion
 	bytes int32  // simulated activation-frame size
 	depth int32  // invocation-tree depth of the child
@@ -393,6 +405,35 @@ func NewRuntime(cfg Config) *Runtime {
 // Config returns the effective (defaulted) configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
+// newW builds a worker context with the hot Config fields cached on it, so
+// the fork fast path reads no runtime state beyond the W itself: the
+// default frame size, the strategy (plus whether its fork path needs the
+// slow prologue), and whether any sink consumes fork events. The tracer's
+// want-mask and the configuration are both fixed for the runtime's
+// lifetime, so caching at W creation is sound. slot is nil for slotless
+// (goroutine-baseline) workers.
+func (rt *Runtime) newW(slot *worker, st *stack.Stack, sh *counterShard) *W {
+	return &W{
+		rt:         rt,
+		slot:       slot,
+		stack:      st,
+		stats:      sh,
+		frameBytes: rt.cfg.FrameBytes,
+		strategy:   rt.cfg.Strategy,
+		slowFork: rt.cfg.Strategy == StrategyCilkPlus ||
+			rt.cfg.Strategy == StrategyTBB ||
+			rt.cfg.Strategy == StrategyGoroutine,
+		wantsFork: rt.trc.Wants(trace.KindFork),
+		// Recycling Scratch frames is unsafe only under leapfrogging on
+		// Chase–Lev: its StealIf predicate walks a candidate frame's
+		// ancestry before the claiming CAS, so it can read a stale entry
+		// whose recycled frame is being re-initialized. Every other
+		// combination either inspects under the deque lock (THE) or never
+		// dereferences the frame (TBB's depth test).
+		arenaOK: !(rt.cfg.Strategy == StrategyLeapfrog && rt.cfg.Deque == DequeChaseLev),
+	}
+}
+
 // AddressSpace exposes the simulated address space for inspection.
 func (rt *Runtime) AddressSpace() *vm.AddressSpace { return rt.as }
 
@@ -412,7 +453,7 @@ func (rt *Runtime) Run(root func(*W)) Stats {
 		go rt.thiefLoop(rt.workers[i])
 	}
 
-	w := &W{rt: rt, slot: rt.workers[0], stack: rt.takeStack(0), stats: rt.shard(0)}
+	w := rt.newW(rt.workers[0], rt.takeStack(0), rt.shard(0))
 	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
 	// The root has no parent frame; its completion ends the computation.
 	rt.done.Store(true)
@@ -476,7 +517,7 @@ func (rt *Runtime) thiefLoop(slot *worker) {
 	if st == nil {
 		return // pool closed: the computation is over
 	}
-	w := &W{rt: rt, slot: slot, stack: st, stats: rt.shard(slot.id)}
+	w := rt.newW(slot, st, rt.shard(slot.id))
 	fails := 0
 	for !rt.done.Load() {
 		t, ok := rt.randomSteal(w, nil)
@@ -579,7 +620,7 @@ func (rt *Runtime) randomSteal(w *W, restrict func(task) bool) (task, bool) {
 // pooled stack, Join waits on a counter.
 func (rt *Runtime) runGoroutine(root func(*W)) Stats {
 	st := rt.takeStack(-1)
-	w := &W{rt: rt, stack: st, stats: rt.shard(-1)}
+	w := rt.newW(nil, st, rt.shard(-1))
 	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
 	rt.pool.Put(-1, st)
 	rt.trc.Flush()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+	"unsafe"
 
 	"fibril/internal/stack"
 	"fibril/internal/trace"
@@ -22,6 +23,18 @@ type W struct {
 	depth    int32  // current invocation depth
 	frame    *Frame // frame of the task currently executing (nil at root)
 	released bool   // slot handed to a resumed parent; owner must retire
+
+	// Hot Config fields cached at W creation (see Runtime.newW), so the
+	// fork fast path touches only this cache line: the default frame size,
+	// the strategy, whether its fork path needs the slow prologue
+	// (Cilk Plus / TBB / goroutine baselines), whether any sink consumes
+	// KindFork (so the untraced path skips the Emit call entirely), and
+	// whether Scratch blocks may be recycled through the slot arena.
+	frameBytes int
+	strategy   Strategy
+	slowFork   bool
+	wantsFork  bool
+	arenaOK    bool
 
 	scratch [8]uint64 // Cilk Plus spawn-prologue simulation target
 }
@@ -42,7 +55,7 @@ func (w *W) StackID() int { return w.stack.ID() }
 // activation frame uses the configured default size; use ForkSized to
 // model a specific frame size.
 func (w *W) Fork(f *Frame, fn func(*W)) {
-	w.ForkSized(f, w.rt.cfg.FrameBytes, fn)
+	w.ForkSized(f, w.frameBytes, fn)
 }
 
 // ForkSized is Fork with an explicit simulated activation-frame size in
@@ -50,17 +63,64 @@ func (w *W) Fork(f *Frame, fn func(*W)) {
 func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 	f.count.Add(1)
 	w.stats.forks.Add(1)
-	w.rt.trc.Emit(w.slotID(), trace.KindFork, int64(w.depth), 0)
+	if w.wantsFork {
+		w.rt.trc.Emit(w.slotID(), trace.KindFork, int64(w.depth), 0)
+	}
 	t := task{fn: fn, frame: f, bytes: int32(bytes), depth: w.depth + 1}
+	if w.slowFork {
+		w.forkSlow(f, t)
+		return
+	}
+	w.slot.deque.Push(t)
+	// A parked thief must be woken by any Fork so exactly P slots stay
+	// runnable whenever work exists (busy leaves). One atomic load when
+	// nobody is parked.
+	w.rt.park.wake()
+}
 
-	switch w.rt.cfg.Strategy {
+// ForkArg forks fn with an argument pointer instead of a closure — the
+// zero-allocation fork: the (code pointer, argument pointer) pair travels
+// through the deque by value, so the steady-state fast path performs no
+// heap allocation at all. arg must stay valid (and, if it holds the only
+// reference to a heap object, reachable) until the child completes; frames
+// and argument blocks recycled through AcquireScratch/ReleaseScratch
+// satisfy this by construction. The type-safe wrapper is fibril.ForkOf.
+func (w *W) ForkArg(f *Frame, fn func(*W, unsafe.Pointer), arg unsafe.Pointer) {
+	w.ForkArgSized(f, w.frameBytes, fn, arg)
+}
+
+// ForkArgSized is ForkArg with an explicit simulated activation-frame size
+// in bytes for the child.
+func (w *W) ForkArgSized(f *Frame, bytes int, fn func(*W, unsafe.Pointer), arg unsafe.Pointer) {
+	f.count.Add(1)
+	w.stats.forks.Add(1)
+	if w.wantsFork {
+		w.rt.trc.Emit(w.slotID(), trace.KindFork, int64(w.depth), 0)
+	}
+	t := task{argfn: fn, arg: arg, frame: f, bytes: int32(bytes), depth: w.depth + 1}
+	if w.slowFork {
+		w.forkSlow(f, t)
+		return
+	}
+	w.slot.deque.Push(t)
+	w.rt.park.wake()
+}
+
+// forkSlow is the out-of-line tail of the fork path for the strategies
+// whose spawn prologue is deliberately expensive (that expense being what
+// Figure 3 measures) or structurally different: Cilk Plus's full stack
+// frame, TBB's heap-allocated task object, and the goroutine-per-task
+// baseline. Keeping it out of ForkSized/ForkArgSized keeps the Fibril-family
+// fast path small enough to stay inlinable.
+func (w *W) forkSlow(f *Frame, t task) {
+	switch w.strategy {
 	case StrategyCilkPlus:
 		// Cilk Plus's spawn prologue maintains a full __cilkrts_stack_frame
 		// (flags, parent links, pedigree) beyond what Fibril's three saved
 		// registers need. Model it as extra stores the compiler cannot
 		// remove plus one extra synchronizing operation.
 		for i := range w.scratch {
-			w.scratch[i] = uint64(bytes) + uint64(i)
+			w.scratch[i] = uint64(t.bytes) + uint64(i)
 		}
 		w.stats.spawnOverhead.Add(1)
 	case StrategyTBB:
@@ -77,7 +137,7 @@ func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 		// stack; no deques, nothing to steal.
 		go func() {
 			st := w.rt.takeStack(-1)
-			child := &W{rt: w.rt, stack: st, stats: w.rt.shard(-1)}
+			child := w.rt.newW(nil, st, w.rt.shard(-1))
 			child.exec(t)
 			w.rt.pool.Put(-1, st)
 			child.childDone(f)
@@ -85,10 +145,21 @@ func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 		return
 	}
 	w.slot.deque.Push(t)
-	// A parked thief must be woken by any Fork so exactly P slots stay
-	// runnable whenever work exists (busy leaves). One atomic load when
-	// nobody is parked.
 	w.rt.park.wake()
+}
+
+// ShouldSplit reports whether publishing more parallelism right now could
+// feed an otherwise-idle worker: the slot's deque looks empty (any probing
+// thief leaves hungry) or at least one thief is parked for lack of work.
+// It is the steal-driven probe behind lazy loop splitting — a loop body
+// checks it between serial chunks and forks only on true, so a saturated
+// system runs tight serial loops while an idle one splits eagerly. The
+// answer is a racy hint, never a correctness condition.
+func (w *W) ShouldSplit() bool {
+	if w.slot == nil {
+		return true // goroutine baseline: forking is the only way to share
+	}
+	return w.slot.deque.LazyHint() || w.rt.park.parked() > 0
 }
 
 // Call runs fn synchronously as a plain function call with a simulated
@@ -96,7 +167,7 @@ func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 // reciprocity path: any code, including "serial" callbacks, may call into
 // or out of parallel code freely (§1, §4.1).
 func (w *W) Call(fn func(*W)) {
-	w.CallSized(w.rt.cfg.FrameBytes, fn)
+	w.CallSized(w.frameBytes, fn)
 }
 
 // CallSized is Call with an explicit frame size in bytes. Panics propagate
@@ -116,6 +187,27 @@ func (w *W) CallSized(bytes int, fn func(*W)) {
 	fn(w)
 }
 
+// CallArg is Call for a (code pointer, argument pointer) pair — the serial
+// spine of ForkArg-based code, allocation-free like its fork counterpart.
+func (w *W) CallArg(fn func(*W, unsafe.Pointer), arg unsafe.Pointer) {
+	w.CallArgSized(w.frameBytes, fn, arg)
+}
+
+// CallArgSized is CallArg with an explicit frame size in bytes.
+func (w *W) CallArgSized(bytes int, fn func(*W, unsafe.Pointer), arg unsafe.Pointer) {
+	w.stats.calls.Add(1)
+	base, err := w.stack.Push(bytes)
+	if err != nil {
+		panic(fmt.Sprintf("core: stack overflow in Call: %v", err))
+	}
+	w.depth++
+	defer func() {
+		w.depth--
+		w.stack.Pop(base)
+	}()
+	fn(w, arg)
+}
+
 // Alloca grows the current simulated frame by n bytes (touching any new
 // pages) and returns a release function, modelling variable-size frames.
 func (w *W) Alloca(n int) (release func()) {
@@ -132,7 +224,7 @@ func (w *W) Alloca(n int) (release func()) {
 // See the package comment for the per-strategy blocked-join behaviour.
 func (w *W) Join(f *Frame) {
 	if f.count.Load() != 0 {
-		switch w.rt.cfg.Strategy {
+		switch w.strategy {
 		case StrategyTBB:
 			w.joinInlineStealing(f, func(t task) bool { return t.depth > f.depth })
 		case StrategyLeapfrog:
@@ -221,7 +313,11 @@ func (w *W) exec(t task) {
 			}
 		}
 	}()
-	t.fn(w)
+	if t.argfn != nil {
+		t.argfn(w, t.arg)
+	} else {
+		t.fn(w)
+	}
 }
 
 // runTask executes a root task (no parent frame to notify).

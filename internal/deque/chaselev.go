@@ -178,3 +178,7 @@ func (d *ChaseLev[T]) Len() int {
 
 // Empty reports whether the deque appears empty.
 func (d *ChaseLev[T]) Empty() bool { return d.Len() == 0 }
+
+// LazyHint reports whether the owner should publish more parallelism: true
+// when the deque looks empty (see Deque.LazyHint). Two atomic loads, no CAS.
+func (d *ChaseLev[T]) LazyHint() bool { return d.bottom.Load()-d.top.Load() <= 0 }

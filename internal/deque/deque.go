@@ -145,6 +145,13 @@ func (d *Deque[T]) Len() int {
 // Empty reports whether the deque appears empty (racy snapshot).
 func (d *Deque[T]) Empty() bool { return d.Len() == 0 }
 
+// LazyHint reports whether the owner should publish more parallelism: true
+// when the deque looks empty, meaning any thief probing this worker leaves
+// hungry. It is the owner-side probe behind lazy loop splitting — two
+// relaxed loads, no lock — and, like Len, is only a racy snapshot: a thief
+// may empty the deque the instant after it returns false.
+func (d *Deque[T]) LazyHint() bool { return d.tail.Load()-d.head.Load() <= 0 }
+
 // Locked is a straightforward mutex-protected deque with the same owner /
 // thief API, used as the semantic reference for differential tests.
 type Locked[T any] struct {
@@ -194,3 +201,6 @@ func (d *Locked[T]) Len() int {
 
 // Empty reports whether the deque is empty.
 func (d *Locked[T]) Empty() bool { return d.Len() == 0 }
+
+// LazyHint reports whether the deque looks empty (see Deque.LazyHint).
+func (d *Locked[T]) LazyHint() bool { return d.Len() == 0 }

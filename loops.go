@@ -1,66 +1,65 @@
 package fibril
 
+import "fibril/internal/core"
+
 // Parallel-iteration helpers layered on Fork/Call/Join — the idioms the
 // paper's benchmarks use by hand (heat's row splitting, fft's butterfly
 // ranges), packaged the way a downstream user expects from a fork-join
 // runtime. All of them follow the C elision rule: with grain ≥ the range
 // size they degrade to a plain loop.
 
-// For runs body(i) for every i in [lo, hi) in parallel, recursively
-// splitting the range and forking one half — the divide-and-conquer loop
-// of the Cilk tradition, whose span is O(log n) rather than the O(n) of
-// spawning each iteration. grain is the largest range executed serially;
-// grain ≤ 0 means 1.
+// For runs body(i) for every i in [lo, hi) in parallel using steal-driven
+// lazy splitting: the worker runs the range as serial chunks of grain
+// iterations and forks the far half of its remaining range only when its
+// deque is empty or a thief is parked hungry (W.ShouldSplit). A saturated
+// system therefore runs tight serial loops — no per-half closure
+// allocations, no deque traffic — while an idle one splits within one
+// grain of work. Forked halves carry their descriptor in a per-worker
+// arena block, so splitting allocates nothing either.
+//
+// grain is the largest range executed as one serial chunk (and the probe
+// period); grain ≤ 0 selects an automatic grain from the range size.
 //
 // Iterations must be independent: For provides no ordering and no
 // exclusion between them. A panic in any iteration surfaces at the
 // enclosing For call (first panic wins).
 func For(w *W, lo, hi, grain int, body func(w *W, i int)) {
-	if grain <= 0 {
-		grain = 1
-	}
-	forRange(w, lo, hi, grain, body)
-}
-
-func forRange(w *W, lo, hi, grain int, body func(w *W, i int)) {
-	if hi-lo > grain {
-		mid := lo + (hi-lo)/2
-		var fr Frame
-		w.Init(&fr)
-		// Fork the left half; continue with the right half on this worker
-		// (a call, per the C elision); join the forked half.
-		w.Fork(&fr, func(w *W) { forRange(w, lo, mid, grain, body) })
-		w.Call(func(w *W) { forRange(w, mid, hi, grain, body) })
-		w.Join(&fr)
-		return
-	}
-	for i := lo; i < hi; i++ {
-		body(w, i)
-	}
+	core.LazyFor(w, lo, hi, grain, body)
 }
 
 // ForEach runs body over every element of items in parallel, with the
-// same splitting and grain semantics as For.
+// same lazy splitting and grain semantics as For.
 func ForEach[T any](w *W, items []T, grain int, body func(w *W, item *T)) {
+	if len(items) == 0 {
+		return
+	}
 	For(w, 0, len(items), grain, func(w *W, i int) { body(w, &items[i]) })
 }
 
 // Reduce computes the reduction of f(i) for i in [lo, hi) under an
-// associative combine with the given identity, using the same recursive
-// range splitting as For. Each worker-side subrange folds serially;
-// subrange results combine pairwise up the recursion tree, so combine is
-// invoked O(n/grain) times regardless of worker count.
+// associative combine with the given identity. The recursion always
+// splits ranges at their midpoint down to the grain, so the combine-tree
+// shape is fixed by (lo, hi, grain) alone — but whether a given split
+// *forks* its left half or recurses into it serially is decided lazily by
+// W.ShouldSplit, so a saturated system pays no fork traffic. Each leaf
+// subrange folds serially; subrange results combine pairwise up the tree,
+// so combine is invoked O(n/grain) times regardless of worker count.
 //
 // combine must be associative, and identity its neutral element;
 // commutativity is NOT required (results combine in range order), so
 // string concatenation or matrix products work. Floating-point addition
-// combines in a deterministic tree shape fixed by (lo, hi, grain): results
-// are reproducible run to run, though they may differ from the serial
-// left-to-right sum by reassociation.
+// combines in a deterministic tree shape fixed by (lo, hi, grain):
+// results are bit-identical run to run and across worker counts — the
+// automatic grain (grain ≤ 0) depends only on the range size, never on P
+// — though they may differ from the serial left-to-right sum by
+// reassociation.
 func Reduce[T any](w *W, lo, hi, grain int, identity T,
 	f func(w *W, i int) T, combine func(a, b T) T) T {
+	if hi <= lo {
+		return identity
+	}
 	if grain <= 0 {
-		grain = 1
+		grain = core.AutoGrain(hi - lo)
 	}
 	return reduceRange(w, lo, hi, grain, identity, f, combine)
 }
@@ -75,18 +74,24 @@ func reduceRange[T any](w *W, lo, hi, grain int, identity T,
 		return acc
 	}
 	mid := lo + (hi-lo)/2
-	var fr Frame
-	w.Init(&fr)
-	var left T
-	w.Fork(&fr, func(w *W) { left = reduceRange(w, lo, mid, grain, identity, f, combine) })
-	var right T
-	w.Call(func(w *W) { right = reduceRange(w, mid, hi, grain, identity, f, combine) })
-	w.Join(&fr)
+	if w.ShouldSplit() {
+		var fr Frame
+		w.Init(&fr)
+		var left T
+		w.Fork(&fr, func(w *W) { left = reduceRange(w, lo, mid, grain, identity, f, combine) })
+		right := reduceRange(w, mid, hi, grain, identity, f, combine)
+		w.Join(&fr)
+		return combine(left, right)
+	}
+	// Saturated: same split, no fork — the tree shape (and therefore the
+	// result, even for floating point) is identical either way.
+	left := reduceRange(w, lo, mid, grain, identity, f, combine)
+	right := reduceRange(w, mid, hi, grain, identity, f, combine)
 	return combine(left, right)
 }
 
-// Map writes out[i] = f(in[i]) in parallel. out and in may alias (in-place
-// transform); they must have equal length.
+// Map writes out[i] = f(in[i]) in parallel with For's lazy splitting. out
+// and in may alias (in-place transform); they must have equal length.
 func Map[T, U any](w *W, out []U, in []T, grain int, f func(w *W, v T) U) {
 	if len(out) != len(in) {
 		panic("fibril: Map length mismatch")
