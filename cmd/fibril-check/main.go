@@ -1,7 +1,8 @@
 // Command fibril-check soak-tests the scheduler with the conformance
 // harness (internal/check): it generates seeded random fork-join programs,
 // runs each across the full executor matrix — real runtime × {THE,
-// Chase–Lev} × worker counts, plus both simulator engines — and checks
+// Chase–Lev, relaxed} × worker counts, plus both simulator engines — and
+// checks
 // every invariant oracle. On a violation it shrinks the generator
 // parameters to a minimal failing configuration and prints the replay
 // command, then exits 1.
@@ -37,7 +38,7 @@ func main() {
 		n        = flag.Int("n", 200, "number of seeds to soak (ignored with -one or -duration)")
 		duration = flag.Duration("duration", 0, "soak for this long instead of a fixed seed count")
 		workers  = flag.String("workers", "1,2,4", "comma-separated real-runtime worker counts")
-		deques   = flag.String("deque", "the,chaselev", "deque kinds: the, chaselev")
+		deques   = flag.String("deque", "the,chaselev,relaxed", "deque kinds: the, chaselev, relaxed")
 		strat    = flag.String("strategy", "fibril", "strategy: fibril, nounmap, mmap, cilkplus, tbb, leapfrog")
 		panics   = flag.Bool("panics", false, "inject panics into 25% of leaves (disables the simulator legs)")
 		nodes    = flag.Int("nodes", 0, "override Params.MaxNodes (0 = default)")
@@ -177,8 +178,10 @@ func parseOptions(workers, deques, strat string, nosim bool,
 			opts.Deques = append(opts.Deques, core.DequeTHE)
 		case "chaselev":
 			opts.Deques = append(opts.Deques, core.DequeChaseLev)
+		case "relaxed":
+			opts.Deques = append(opts.Deques, core.DequeRelaxed)
 		default:
-			return opts, fmt.Errorf("bad -deque entry %q (want the, chaselev)", d)
+			return opts, fmt.Errorf("bad -deque entry %q (want the, chaselev, relaxed)", d)
 		}
 	}
 	switch strings.TrimSpace(strat) {

@@ -90,6 +90,45 @@ func TestDifferentialPanicPrograms(t *testing.T) {
 	}
 }
 
+// TestDifferentialRelaxedDeque is the explicit relaxed-oracle leg: seeded
+// programs over {THE, ChaseLev, Relaxed} × {1,2,4} workers, plus a
+// panic-injection pass over the same matrix. The oracles assert the
+// relaxed exactly-once law (executions == 1 under at-least-once
+// extraction), that the linearizable kinds and every P=1 run report zero
+// DuplicateExtractions, and that the trace's KindDupSteal count
+// reconciles with the counter.
+func TestDifferentialRelaxedDeque(t *testing.T) {
+	opts := Options{
+		Workers: []int{1, 2, 4},
+		Deques:  []core.DequeKind{core.DequeTHE, core.DequeChaseLev, core.DequeRelaxed},
+		NoSim:   true, // the simulator has no deque kinds; sim legs run elsewhere
+	}
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	for seed := uint64(200); seed < uint64(200+n); seed++ {
+		p := Generate(seed, Params{})
+		if err := Differential(p, opts); err != nil {
+			t.Error(err)
+		}
+	}
+	ran := 0
+	for seed := uint64(200); ran < 5 && seed < 260; seed++ {
+		p := Generate(seed, Params{PanicPct: 35})
+		if p.Panics == 0 {
+			continue
+		}
+		ran++
+		if err := Differential(p, opts); err != nil {
+			t.Error(err)
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no panic-injected programs generated; raise PanicPct or the seed range")
+	}
+}
+
 // TestDifferentialLazyPrograms mixes lazy fork edges into the generated
 // programs: the real runtime resolves each one at run time via
 // W.ShouldSplit (fork on an idle system, plain call on a busy one), the

@@ -152,6 +152,24 @@ func CheckReal(p *Program, m invoke.Metrics, e RealExec) error {
 		}
 	}
 
+	// Multiplicity discipline. The relaxed exactly-once law — executions
+	// == 1 under at-least-once extraction — is checkCounts above, which
+	// holds for every deque kind; DuplicateExtractions is the surplus the
+	// claim layer absorbed. The linearizable kinds promise exactly-once
+	// *extraction*, so any duplicate there is a protocol violation, and at
+	// P=1 the relaxed owner is the only extractor, so its private/published
+	// split must also produce none.
+	if e.Deque != core.DequeRelaxed && st.DuplicateExtractions != 0 {
+		v.failf("deque %v reported %d duplicate extractions, want 0",
+			e.Deque, st.DuplicateExtractions)
+	}
+	if st.Workers == 1 && st.Strategy != core.StrategyGoroutine && st.DuplicateExtractions != 0 {
+		v.failf("P=1 run reported %d duplicate extractions", st.DuplicateExtractions)
+	}
+	if st.DuplicateExtractions < 0 {
+		v.failf("DuplicateExtractions=%d underflowed", st.DuplicateExtractions)
+	}
+
 	// Stack-management discipline per strategy. StrategyFibril with
 	// UnmapBatch > 1 runs the coalesced engine: every suspend resolves
 	// exactly once as a flushed unmap, a resume-cancelled ticket, or a
@@ -339,6 +357,10 @@ func CheckRealPanic(p *Program, e RealExec) error {
 	}
 	if st.Forks > int64(p.Forks) {
 		v.failf("Stats.Forks=%d > tree fork edges %d", st.Forks, p.Forks)
+	}
+	if e.Deque != core.DequeRelaxed && st.DuplicateExtractions != 0 {
+		v.failf("deque %v reported %d duplicate extractions under panic, want 0",
+			e.Deque, st.DuplicateExtractions)
 	}
 	return v.err()
 }

@@ -172,7 +172,8 @@ func (mp MemParams) String() string {
 type RealExec struct {
 	Label     string
 	Mem       MemParams
-	Counts    []uint32 // executions per node ID
+	Deque     core.DequeKind // deque kind the run used (relaxed laws differ)
+	Counts    []uint32       // executions per node ID
 	Stats     core.Stats
 	Queued    int          // tasks left in deques at quiescence (must be 0)
 	Parked    int          // thieves still parked at quiescence (must be 0)
@@ -200,6 +201,7 @@ func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy, me
 	e := RealExec{
 		Label:  label,
 		Mem:    mem,
+		Deque:  dk,
 		Counts: make([]uint32, p.Nodes),
 	}
 	rec := trace.NewRecorder(traceRecorderCap)

@@ -1,0 +1,31 @@
+package core
+
+import "fibril/internal/trace"
+
+// The idempotence layer over relaxed deques.
+//
+// DequeRelaxed guarantees no task is ever lost but allows a task to be
+// *extracted* more than once (multiplicity, Castañeda–Piña). The runtime
+// restores exactly-once *execution* with a per-task claim: the deque
+// stamps a fresh claim word into each task it publishes (task.WithClaim),
+// and every extraction — owner pop or thief steal — must win that claim
+// before executing. The claim lives in the deque's own per-publication
+// node, which is immutable and GC-reclaimed, never recycled through the
+// Scratch arenas, so a stale duplicate can never observe a reset claim.
+//
+// Tasks from the linearizable deques (THE, Chase-Lev) and tasks the
+// relaxed deque never published carry a nil claim, which Acquire treats
+// as trivially won — the whole layer costs those paths one nil test.
+
+// claimTask attempts to win t's execution claim. It returns false when
+// another extraction already owns the task, counting the duplicate and
+// emitting a KindDupSteal event; the caller must then discard t without
+// executing it or touching its parent frame's counters.
+func (w *W) claimTask(t task) bool {
+	if t.claim.Acquire() {
+		return true
+	}
+	w.stats.dupExtractions.Add(1)
+	w.rt.trc.Emit(w.slotID(), trace.KindDupSteal, int64(t.depth), 0)
+	return false
+}

@@ -18,8 +18,9 @@ func dequeStrategies() []Strategy {
 }
 
 func TestDequeKindStrings(t *testing.T) {
-	if DequeTHE.String() != "the" || DequeChaseLev.String() != "chaselev" {
-		t.Errorf("deque kind names = %q, %q", DequeTHE, DequeChaseLev)
+	if DequeTHE.String() != "the" || DequeChaseLev.String() != "chaselev" ||
+		DequeRelaxed.String() != "relaxed" {
+		t.Errorf("deque kind names = %q, %q, %q", DequeTHE, DequeChaseLev, DequeRelaxed)
 	}
 	if got := DequeKind(99).String(); got != "DequeKind(99)" {
 		t.Errorf("unknown kind = %q", got)
@@ -54,18 +55,21 @@ func TestRandomProgramsBothDeques(t *testing.T) {
 // TestDequeKindsScheduleIdentically is the differential property test of
 // the deque abstraction: on a single worker the schedule is a pure
 // function of the deque's Push/Pop order, so running the same random
-// program under THE and Chase–Lev and comparing the exact leaf execution
-// ORDER (not just the sum) proves the two deques are semantically
-// interchangeable under every strategy.
+// program under every deque kind and comparing the exact leaf execution
+// ORDER (not just the sum) proves the kinds are semantically
+// interchangeable under every strategy. This includes the relaxed deque:
+// with no thieves its private/published split must preserve the exact
+// LIFO pop order, and no duplicate extraction may occur at P=1.
 func TestDequeKindsScheduleIdentically(t *testing.T) {
+	kinds := DequeKinds()
 	for _, strat := range dequeStrategies() {
 		strat := strat
 		t.Run(strat.String(), func(t *testing.T) {
 			for seed := uint64(1); seed <= 8; seed++ {
 				p := newRandomProgram(seed * 0x9D2C5681)
-				var orders [2][]int64
-				var counters [2]Stats
-				for i, kind := range DequeKinds() {
+				orders := make([][]int64, len(kinds))
+				counters := make([]Stats, len(kinds))
+				for i, kind := range kinds {
 					rt := NewRuntime(Config{
 						Workers: 1, Strategy: strat, Deque: kind, StackPages: 4096,
 					})
@@ -77,22 +81,30 @@ func TestDequeKindsScheduleIdentically(t *testing.T) {
 					orders[i] = order
 					counters[i] = rt.Stats()
 				}
-				if len(orders[0]) != len(orders[1]) {
-					t.Fatalf("seed %d: leaf counts differ: %d vs %d",
-						seed, len(orders[0]), len(orders[1]))
-				}
-				for j := range orders[0] {
-					if orders[0][j] != orders[1][j] {
-						t.Fatalf("seed %d: execution order diverges at leaf %d: %d vs %d",
-							seed, j, orders[0][j], orders[1][j])
+				for i := 1; i < len(kinds); i++ {
+					if len(orders[0]) != len(orders[i]) {
+						t.Fatalf("seed %d: leaf counts differ: %s %d vs %s %d",
+							seed, kinds[0], len(orders[0]), kinds[i], len(orders[i]))
+					}
+					for j := range orders[0] {
+						if orders[0][j] != orders[i][j] {
+							t.Fatalf("seed %d: %s execution order diverges from %s at leaf %d: %d vs %d",
+								seed, kinds[i], kinds[0], j, orders[i][j], orders[0][j])
+						}
+					}
+					a, b := counters[0], counters[i]
+					if a.Forks != b.Forks || a.Calls != b.Calls ||
+						a.Steals != b.Steals || a.Suspends != b.Suspends ||
+						a.Resumes != b.Resumes || a.Unmaps != b.Unmaps {
+						t.Fatalf("seed %d: scheduler counters diverge:\n %s: %+v\n %s: %+v",
+							seed, kinds[0], a, kinds[i], b)
 					}
 				}
-				a, b := counters[0], counters[1]
-				if a.Forks != b.Forks || a.Calls != b.Calls ||
-					a.Steals != b.Steals || a.Suspends != b.Suspends ||
-					a.Resumes != b.Resumes || a.Unmaps != b.Unmaps {
-					t.Fatalf("seed %d: scheduler counters diverge:\n the: %+v\n chaselev: %+v",
-						seed, a, b)
+				for i, kind := range kinds {
+					if d := counters[i].DuplicateExtractions; d != 0 {
+						t.Fatalf("seed %d: %s at P=1 reported %d duplicate extractions",
+							seed, kind, d)
+					}
 				}
 			}
 		})
@@ -156,4 +168,44 @@ func TestChaseLevMultiWorkerCountersBalance(t *testing.T) {
 	if got := leaves.Load(); got != want {
 		t.Errorf("leaves = %d, want %d", got, want)
 	}
+}
+
+// TestRelaxedMultiWorkerExactlyOnce drives the fence-free deque with real
+// thief contention: despite at-least-once extraction, the claim layer
+// must keep execution exactly-once (the leaf count proves it — a
+// double-executed fork would overshoot, a lost one undershoot), with
+// Steals counting claim winners only so the counter laws still hold.
+// DuplicateExtractions is reported for visibility; any non-negative count
+// is legal.
+func TestRelaxedMultiWorkerExactlyOnce(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4, Deque: DequeRelaxed, StackPages: 4096})
+	var leaves atomic.Int64
+	var fib func(w *W, n int)
+	fib = func(w *W, n int) {
+		if n < 2 {
+			leaves.Add(1)
+			return
+		}
+		var fr Frame
+		w.Init(&fr)
+		w.Fork(&fr, func(w *W) { fib(w, n-1) })
+		w.Call(func(w *W) { fib(w, n-2) })
+		w.Join(&fr)
+	}
+	rt.Run(func(w *W) { fib(w, 18) })
+	st := rt.Stats()
+	if want := int64(4181); leaves.Load() != want {
+		t.Errorf("leaves = %d, want %d — a fork executed twice or was lost", leaves.Load(), want)
+	}
+	if st.Steals > st.Forks {
+		t.Errorf("steals %d exceed forks %d", st.Steals, st.Forks)
+	}
+	if st.Suspends != st.Resumes {
+		t.Errorf("suspends %d != resumes %d", st.Suspends, st.Resumes)
+	}
+	if st.DuplicateExtractions < 0 {
+		t.Errorf("DuplicateExtractions = %d underflowed", st.DuplicateExtractions)
+	}
+	t.Logf("relaxed P=4: forks=%d steals=%d dupExtractions=%d",
+		st.Forks, st.Steals, st.DuplicateExtractions)
 }

@@ -150,6 +150,14 @@ const (
 	// thief contention, at the cost of one allocation per Fork (entries
 	// are boxed; see deque.ChaseLev).
 	DequeChaseLev
+	// DequeRelaxed is the Castañeda–Piña fence-free deque with
+	// multiplicity: the owner's Push/Pop path performs no atomic
+	// read-modify-write and no store-load fence, at the price of a task
+	// occasionally being *extracted* twice. The runtime's per-task
+	// execution claim (see claimTask) filters duplicates so execution
+	// stays exactly-once; discarded duplicates are counted in
+	// Stats.DuplicateExtractions and emitted as trace.KindDupSteal.
+	DequeRelaxed
 )
 
 // String returns the deque kind's display name as used in benchmarks.
@@ -159,13 +167,17 @@ func (k DequeKind) String() string {
 		return "the"
 	case DequeChaseLev:
 		return "chaselev"
+	case DequeRelaxed:
+		return "relaxed"
 	default:
 		return fmt.Sprintf("DequeKind(%d)", int(k))
 	}
 }
 
 // DequeKinds lists every implemented deque kind, in presentation order.
-func DequeKinds() []DequeKind { return []DequeKind{DequeTHE, DequeChaseLev} }
+func DequeKinds() []DequeKind {
+	return []DequeKind{DequeTHE, DequeChaseLev, DequeRelaxed}
+}
 
 // PoolKind selects the stack-pool implementation behind take/put.
 type PoolKind int
@@ -210,10 +222,14 @@ type taskDeque interface {
 }
 
 func newTaskDeque(k DequeKind) taskDeque {
-	if k == DequeChaseLev {
+	switch k {
+	case DequeChaseLev:
 		return &deque.ChaseLev[task]{}
+	case DequeRelaxed:
+		return &deque.Relaxed[task]{}
+	default:
+		return &deque.Deque[task]{}
 	}
-	return &deque.Deque[task]{}
 }
 
 // Config parameterizes a Runtime.
@@ -322,6 +338,21 @@ type task struct {
 	bytes int32  // simulated activation-frame size
 	depth int32  // invocation-tree depth of the child
 	heavy *tbbTask
+	// claim is the execution claim stamped by the relaxed deque at
+	// publication: the relaxed protocol may hand the same task out more
+	// than once, and the first claimTask winner executes it. It lives in
+	// the deque's per-publication node — never in a recycled Scratch
+	// block — so a recycled payload can never masquerade as a fresh
+	// claim. nil (THE, Chase-Lev, unpublished relaxed tasks) means the
+	// extraction is already unique.
+	claim *deque.Claim
+}
+
+// WithClaim satisfies deque.Stampable: the relaxed deque stamps its
+// per-publication claim into the copy of the task it publishes.
+func (t task) WithClaim(c *deque.Claim) task {
+	t.claim = c
+	return t
 }
 
 // tbbTask models TBB's heap-allocated task object with its reference count;
@@ -425,12 +456,15 @@ func (rt *Runtime) newW(slot *worker, st *stack.Stack, sh *counterShard) *W {
 			rt.cfg.Strategy == StrategyGoroutine,
 		wantsFork: rt.trc.Wants(trace.KindFork),
 		// Recycling Scratch frames is unsafe only under leapfrogging on
-		// Chase–Lev: its StealIf predicate walks a candidate frame's
-		// ancestry before the claiming CAS, so it can read a stale entry
-		// whose recycled frame is being re-initialized. Every other
-		// combination either inspects under the deque lock (THE) or never
-		// dereferences the frame (TBB's depth test).
-		arenaOK: !(rt.cfg.Strategy == StrategyLeapfrog && rt.cfg.Deque == DequeChaseLev),
+		// the lock-free deques: their StealIf predicates walk a candidate
+		// frame's ancestry before the claiming CAS (Chase-Lev) or before
+		// the anchor CAS on a possibly re-extracted entry (Relaxed), so
+		// they can read a stale entry whose recycled frame is being
+		// re-initialized. Every other combination either inspects under
+		// the deque lock (THE) or never dereferences the frame (TBB's
+		// depth test).
+		arenaOK: !(rt.cfg.Strategy == StrategyLeapfrog &&
+			(rt.cfg.Deque == DequeChaseLev || rt.cfg.Deque == DequeRelaxed)),
 	}
 }
 
@@ -577,10 +611,20 @@ func (rt *Runtime) randomSteal(w *W, restrict func(task) bool) (task, bool) {
 	}
 	take := func(victim *worker) (task, bool) {
 		probes++
+		var t task
+		var ok bool
 		if restrict == nil {
-			return victim.deque.Steal()
+			t, ok = victim.deque.Steal()
+		} else {
+			t, ok = victim.deque.StealIf(restrict)
 		}
-		return victim.deque.StealIf(restrict)
+		if ok && !w.claimTask(t) {
+			// A duplicate extraction from a relaxed deque: someone else
+			// already owns the execution. Treat it as a failed probe so
+			// Steals counts claim winners only.
+			return task{}, false
+		}
+		return t, ok
 	}
 	won := func(victim *worker, t task) (task, bool) {
 		w.slot.lastVictim = victim.id

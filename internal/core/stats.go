@@ -11,9 +11,9 @@ import (
 // keeps one shard per slot (plus a spare for slotless goroutine-baseline
 // workers), so the fork/steal hot paths increment an uncontended counter
 // instead of ping-ponging a shared cache line across P cores; Stats
-// aggregates the shards. Each shard is padded to 128 bytes — two x86-64
-// cache lines, covering the adjacent-line prefetcher — so neighbouring
-// slots never false-share.
+// aggregates the shards. Each shard is padded to 256 bytes — cache-line
+// multiples covering the adjacent-line prefetcher — so neighbouring slots
+// never false-share.
 type counterShard struct {
 	forks            atomic.Int64
 	calls            atomic.Int64
@@ -31,7 +31,8 @@ type counterShard struct {
 	ceilingHits      atomic.Int64
 	reclaimedPages   atomic.Int64
 	poolReclaims     atomic.Int64
-	// 16 words = exactly 128 bytes; no padding needed.
+	dupExtractions   atomic.Int64
+	_                [15]int64 // pad 17 words up to 256 bytes
 }
 
 // shard returns the counter shard for worker slot id; id -1 (slotless
@@ -49,16 +50,22 @@ type Stats struct {
 	Strategy Strategy
 	Workers  int
 
-	Forks            int64 // fibril_fork executions
-	Calls            int64 // synchronous Call executions
-	Steals           int64 // successful steals (Table 2 "steals")
-	StealAttempts    int64 // steal probes of a visibly non-empty deque
-	RestrictedSteals int64 // inline steals by TBB/leapfrog joins
-	Suspends         int64 // frame suspensions
-	Resumes          int64 // frame resumptions
-	Unmaps           int64 // unmap operations (Table 2 "unmaps")
-	UnmappedPages    int64 // physical pages returned by those unmaps
-	SpawnOverhead    int64 // modelled spawn-prologue events (Cilk Plus, TBB)
+	Forks  int64 // fibril_fork executions
+	Calls  int64 // synchronous Call executions
+	Steals int64 // successful steals (Table 2 "steals")
+	// DuplicateExtractions counts tasks extracted a second (or later) time
+	// from a relaxed deque and discarded by the execution claim. Always
+	// zero for the linearizable deque kinds (THE, Chase-Lev) and at P=1;
+	// under DequeRelaxed it is the price of the fence-free owner path, and
+	// each one is also emitted as a trace.KindDupSteal event.
+	DuplicateExtractions int64
+	StealAttempts        int64 // steal probes of a visibly non-empty deque
+	RestrictedSteals     int64 // inline steals by TBB/leapfrog joins
+	Suspends             int64 // frame suspensions
+	Resumes              int64 // frame resumptions
+	Unmaps               int64 // unmap operations (Table 2 "unmaps")
+	UnmappedPages        int64 // physical pages returned by those unmaps
+	SpawnOverhead        int64 // modelled spawn-prologue events (Cilk Plus, TBB)
 
 	// Memory-pressure engine counters (coalesced unmap + RSS ceiling).
 	// Every suspend resolves exactly one way, so in coalesced mode
@@ -106,6 +113,7 @@ func (rt *Runtime) Stats() Stats {
 		s.CeilingHits += sh.ceilingHits.Load()
 		s.ReclaimedPages += sh.reclaimedPages.Load()
 		s.PoolReclaims += sh.poolReclaims.Load()
+		s.DuplicateExtractions += sh.dupExtractions.Load()
 	}
 	return s
 }

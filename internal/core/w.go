@@ -248,7 +248,9 @@ func (w *W) joinSuspending(f *Frame) {
 			return
 		}
 		if t, ok := w.slot.deque.Pop(); ok {
-			w.runInline(t)
+			if w.claimTask(t) {
+				w.runInline(t)
+			}
 			continue
 		}
 		// All remaining children were stolen; park until the last thief
@@ -268,7 +270,9 @@ func (w *W) joinSuspending(f *Frame) {
 func (w *W) joinInlineStealing(f *Frame, eligible func(task) bool) {
 	for f.count.Load() != 0 {
 		if t, ok := w.slot.deque.Pop(); ok {
-			w.runInline(t)
+			if w.claimTask(t) {
+				w.runInline(t)
+			}
 			continue
 		}
 		if t, ok := w.rt.randomSteal(w, eligible); ok {

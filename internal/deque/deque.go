@@ -33,7 +33,11 @@ type Deque[T any] struct {
 func (d *Deque[T]) Push(t T) {
 	tail := d.tail.Load()
 	head := d.head.Load()
-	if d.buf == nil || int(tail-head) >= len(d.buf) {
+	// One slot of slack is reserved: a lock-holding thief advances head
+	// past an entry before it finishes reading it (claim first, inspect
+	// second), so the head observed here may be one past an entry still
+	// in use. Growing at len-1 keeps the ring from wrapping onto it.
+	if d.buf == nil || int(tail-head) >= len(d.buf)-1 {
 		d.grow(head, tail)
 	}
 	d.buf[tail&int64(len(d.buf)-1)] = t
@@ -95,8 +99,11 @@ func (d *Deque[T]) Steal() (T, bool) {
 		d.lock.Unlock()
 		return zero, false
 	}
+	// The stolen slot is not cleared: once head has advanced the owner may
+	// reuse it on the next ring lap, so a thief-side write would race the
+	// owner's Push. The stale value is released when the slot is
+	// overwritten or the ring is replaced by grow.
 	v := d.buf[head&int64(len(d.buf)-1)]
-	d.buf[head&int64(len(d.buf)-1)] = zero
 	d.lock.Unlock()
 	return v, true
 }
@@ -127,7 +134,8 @@ func (d *Deque[T]) StealIf(pred func(T) bool) (T, bool) {
 		d.lock.Unlock()
 		return zero, false
 	}
-	d.buf[head&int64(len(d.buf)-1)] = zero
+	// Not cleared for the same reason as Steal: the owner may already be
+	// reusing this slot on the next ring lap.
 	d.lock.Unlock()
 	return v, true
 }

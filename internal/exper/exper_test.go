@@ -2,10 +2,12 @@ package exper
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
 	"fibril/internal/bench"
+	"fibril/internal/core"
 	"fibril/internal/table"
 )
 
@@ -99,6 +101,58 @@ func specOf(t *testing.T, name string) *bench.Spec {
 	}
 	t.Fatal("missing spec")
 	return nil
+}
+
+// TestStealPathThreeWay pins the steal-path experiment's shape after the
+// relaxed deque joined the matrix: two strategies × every deque kind ×
+// two worker counts (the P=1 owner-path rows and the contended default),
+// with duplicate extractions possible only on the relaxed kind and never
+// at P=1. With FIBRIL_STEALPATH_SMOKE=1 (the CI perf smoke) it
+// additionally asserts the headline property: the fence-free relaxed
+// owner path is not slower than THE's at P=1.
+func TestStealPathThreeWay(t *testing.T) {
+	smoke := os.Getenv("FIBRIL_STEALPATH_SMOKE") != ""
+	reps := 1
+	if smoke {
+		reps = 5 // timing comparison needs averaging; shape checks don't
+	}
+	rows, tb := StealPath(Options{Reps: reps, Benches: []string{"fib"}})
+	wantRows := 2 * len(core.DequeKinds()) * 2 // strategies × kinds × {1, P}
+	if len(rows) != wantRows || rowCount(tb) != wantRows {
+		t.Fatalf("rows = %d (table %d), want %d", len(rows), rowCount(tb), wantRows)
+	}
+	owner := map[string]float64{} // deque → P=1 ns/fork under the fibril strategy
+	for _, r := range rows {
+		if r.NsPerFork <= 0 {
+			t.Errorf("%s/%s/P=%d: ns_op = %v", r.Strategy, r.Deque, r.Workers, r.NsPerFork)
+		}
+		if r.Workers == 1 && (r.Steals != 0 || r.DupExtractions != 0) {
+			t.Errorf("%s/%s at P=1: steals=%d dups=%d, want 0 (no thieves exist)",
+				r.Strategy, r.Deque, r.Steals, r.DupExtractions)
+		}
+		if r.Deque != core.DequeRelaxed.String() && r.DupExtractions != 0 {
+			t.Errorf("%s/%s: dup_extractions=%d on a linearizable deque",
+				r.Strategy, r.Deque, r.DupExtractions)
+		}
+		if r.Workers == 1 && r.Strategy == core.StrategyFibril.String() {
+			owner[r.Deque] = r.NsPerFork
+		}
+	}
+	if !smoke {
+		return
+	}
+	the := owner[core.DequeTHE.String()]
+	relaxed := owner[core.DequeRelaxed.String()]
+	if the == 0 || relaxed == 0 {
+		t.Fatalf("missing owner-path rows: the=%v relaxed=%v", the, relaxed)
+	}
+	// 5% slack absorbs shared-CI timer noise; the steady-state gap measured
+	// in results/BENCH_stealpath.json is far wider than that.
+	if relaxed > the*1.05 {
+		t.Errorf("relaxed owner path %.0f ns/fork slower than THE %.0f ns/fork", relaxed, the)
+	}
+	t.Logf("owner path ns/fork: the=%.0f chaselev=%.0f relaxed=%.0f",
+		the, owner[core.DequeChaseLev.String()], relaxed)
 }
 
 func TestPredictAgreesWithSimulatorWithinFactor(t *testing.T) {

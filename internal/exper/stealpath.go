@@ -1,6 +1,8 @@
 package exper
 
 import (
+	"runtime"
+
 	"fibril/internal/bench"
 	"fibril/internal/core"
 	"fibril/internal/table"
@@ -10,13 +12,14 @@ import (
 // machine consumption (-json): per-fork wall cost on the real runtime plus
 // the steal counters that expose thief contention and idle burn.
 type StealPathRow struct {
-	Benchmark     string  `json:"benchmark"`
-	Strategy      string  `json:"strategy"`
-	Deque         string  `json:"deque"`
-	Workers       int     `json:"p"`
-	NsPerFork     float64 `json:"ns_op"`
-	Steals        int64   `json:"steals"`
-	StealAttempts int64   `json:"steal_attempts"`
+	Benchmark      string  `json:"benchmark"`
+	Strategy       string  `json:"strategy"`
+	Deque          string  `json:"deque"`
+	Workers        int     `json:"p"`
+	NsPerFork      float64 `json:"ns_op"`
+	Steals         int64   `json:"steals"`
+	StealAttempts  int64   `json:"steal_attempts"`
+	DupExtractions int64   `json:"dup_extractions"`
 }
 
 // stealPathBenches are steal-heavy workloads: fine-grained fib and the
@@ -26,9 +29,13 @@ var stealPathBenches = []string{"fib", "nqueens"}
 // StealPath measures the fork/steal hot path of the real runtime across
 // strategy × deque-kind combinations: a suspending strategy (Fibril, the
 // plain Steal path) and an inline-stealing one (TBB, the StealIf path),
-// each on the THE and Chase–Lev deques. The per-fork nanosecond cost is
-// the Figure 3 quantity; steals and stealAttempts make contention and
-// idle-thief burn visible run over run.
+// each on every deque kind (THE, Chase–Lev, and the fence-free relaxed
+// deque). Two worker counts are measured per combination: P=1 isolates
+// the owner's fork+pop fast path — the quantity the relaxed deque's
+// fence-free protocol targets — and P=workers layers thief contention on
+// top. The per-fork nanosecond cost is the Figure 3 quantity; steals,
+// stealAttempts and dupExtractions make contention, idle-thief burn and
+// the relaxed deque's multiplicity visible run over run.
 func StealPath(o Options) ([]StealPathRow, *table.Table) {
 	o = o.withDefaults()
 	workers := o.Workers
@@ -37,10 +44,14 @@ func StealPath(o Options) ([]StealPathRow, *table.Table) {
 		// interleaving exercises it even on small hosts.
 		workers = 4
 	}
+	pSet := []int{1, workers}
+	if workers == 1 {
+		pSet = []int{1}
+	}
 	t := &table.Table{
 		Title: "Steal path: per-fork cost and steal counters (real runtime)",
 		Header: []string{"benchmark", "strategy", "deque", "P", "ns/fork",
-			"steals", "stealAttempts"},
+			"steals", "stealAttempts", "dupExtractions"},
 	}
 	var rows []StealPathRow
 	for _, name := range stealPathBenches {
@@ -51,33 +62,45 @@ func StealPath(o Options) ([]StealPathRow, *table.Table) {
 		a := s.Default
 		for _, strat := range []core.Strategy{core.StrategyFibril, core.StrategyTBB} {
 			for _, kind := range core.DequeKinds() {
-				rt := o.newRuntime(core.Config{
-					Workers: workers, Strategy: strat, Deque: kind,
-					StackPages: 4096,
-				})
-				summary := timeIt(o.Reps, func() {
+				for _, p := range pSet {
+					rt := o.newRuntime(core.Config{
+						Workers: p, Strategy: strat, Deque: kind,
+						StackPages: 4096,
+					})
+					// One untimed run warms the stack pool and the code
+					// paths, and a GC barrier stops the previous leg's
+					// garbage from being collected on this leg's clock —
+					// the sub-10% gaps between deque kinds drown without
+					// both.
 					rt.Run(func(w *core.W) { s.Parallel(w, a) })
-				})
-				// Counters accumulate across the reps runs on one
-				// Runtime; report per-run values.
-				st := rt.Stats()
-				reps := int64(o.Reps)
-				forksPerRun := st.Forks / reps
-				if forksPerRun == 0 {
-					forksPerRun = 1
+					st0 := rt.Stats()
+					runtime.GC()
+					summary := timeIt(o.Reps, func() {
+						rt.Run(func(w *core.W) { s.Parallel(w, a) })
+					})
+					// Counters accumulate across all runs on one Runtime;
+					// report per-timed-run values, warm-up excluded.
+					st := rt.Stats()
+					reps := int64(o.Reps)
+					forksPerRun := (st.Forks - st0.Forks) / reps
+					if forksPerRun == 0 {
+						forksPerRun = 1
+					}
+					row := StealPathRow{
+						Benchmark:      name,
+						Strategy:       strat.String(),
+						Deque:          kind.String(),
+						Workers:        p,
+						NsPerFork:      summary.Mean * 1e9 / float64(forksPerRun),
+						Steals:         (st.Steals - st0.Steals) / reps,
+						StealAttempts:  (st.StealAttempts - st0.StealAttempts) / reps,
+						DupExtractions: (st.DuplicateExtractions - st0.DuplicateExtractions) / reps,
+					}
+					rows = append(rows, row)
+					t.Add(row.Benchmark, row.Strategy, row.Deque, row.Workers,
+						int64(row.NsPerFork), row.Steals, row.StealAttempts,
+						row.DupExtractions)
 				}
-				row := StealPathRow{
-					Benchmark:     name,
-					Strategy:      strat.String(),
-					Deque:         kind.String(),
-					Workers:       workers,
-					NsPerFork:     summary.Mean * 1e9 / float64(forksPerRun),
-					Steals:        st.Steals / reps,
-					StealAttempts: st.StealAttempts / reps,
-				}
-				rows = append(rows, row)
-				t.Add(row.Benchmark, row.Strategy, row.Deque, row.Workers,
-					int64(row.NsPerFork), row.Steals, row.StealAttempts)
 			}
 		}
 	}

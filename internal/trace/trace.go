@@ -53,9 +53,14 @@ const (
 	KindJoinWait
 	// KindUnmapBatch: a coalesced-unmap batch flushed (arg: unmaps issued).
 	KindUnmapBatch
+	// KindDupSteal: a task extracted more than once from a relaxed deque
+	// lost its execution claim (arg: task depth). Only the fence-free
+	// DequeRelaxed emits these; the claim layer turns the duplicate into a
+	// no-op, so the event is observability, not an error.
+	KindDupSteal
 
 	// numKinds bounds the Kind space for mask and counter arrays.
-	numKinds = 10
+	numKinds = 11
 )
 
 // NumKinds returns the number of defined event kinds.
@@ -84,6 +89,8 @@ func (k Kind) String() string {
 		return "joinwait"
 	case KindUnmapBatch:
 		return "unmapbatch"
+	case KindDupSteal:
+		return "dupsteal"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -236,12 +243,13 @@ func (r *Recorder) Timeline(w io.Writer, bucket time.Duration) error {
 		KindFork: 'f', KindSteal: 'S', KindSuspend: 'z',
 		KindResume: 'R', KindUnmap: 'u', KindTaskStart: '>', KindTaskEnd: '<',
 		KindReclaim: 'r', KindJoinWait: 'j', KindUnmapBatch: 'b',
+		KindDupSteal: 'D',
 	}
 	// Rank kinds so rarer, more interesting events win a contested cell.
 	rank := map[Kind]int{
 		KindFork: 0, KindTaskEnd: 1, KindTaskStart: 2, KindJoinWait: 3,
 		KindUnmap: 4, KindUnmapBatch: 5, KindSteal: 6, KindResume: 7,
-		KindSuspend: 8, KindReclaim: 9,
+		KindSuspend: 8, KindReclaim: 9, KindDupSteal: 10,
 	}
 	lanes := make([][]byte, maxWorker+1)
 	laneRank := make([][]int, maxWorker+1)
@@ -266,7 +274,7 @@ func (r *Recorder) Timeline(w io.Writer, bucket time.Duration) error {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "timeline: %v total, %v/column; f=fork S=steal z=suspend R=resume u=unmap r=reclaim j=joinwait b=batch >=start <=end\n",
+	fmt.Fprintf(&b, "timeline: %v total, %v/column; f=fork S=steal z=suspend R=resume u=unmap r=reclaim j=joinwait b=batch D=dupsteal >=start <=end\n",
 		span.Round(time.Microsecond), bucket)
 	for i, lane := range lanes {
 		fmt.Fprintf(&b, "w%-3d %s\n", i, lane)
