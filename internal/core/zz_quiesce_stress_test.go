@@ -1,0 +1,34 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Temporary review stress: after Run completes under the relaxed deque,
+// no tasks (not even claimed duplicates) may remain visible in any deque.
+func TestReviewRelaxedQueuedAtQuiescence(t *testing.T) {
+	var sink atomic.Int64
+	var tree func(w *W, depth int)
+	tree = func(w *W, depth int) {
+		if depth == 0 {
+			sink.Add(1)
+			return
+		}
+		var fr Frame
+		w.Init(&fr)
+		for k := 0; k < 12; k++ {
+			w.Fork(&fr, func(w *W) { tree(w, depth-1) })
+		}
+		w.Join(&fr)
+	}
+	for round := 0; round < 3000; round++ {
+		rt := NewRuntime(Config{Workers: 4, Deque: DequeRelaxed, StackPages: 4096})
+		rt.Run(func(w *W) { tree(w, 3) })
+		if q := rt.QueuedTasks(); q != 0 {
+			st := rt.Stats()
+			t.Fatalf("round %d: QueuedTasks=%d after Run (dupExtractions=%d steals=%d)",
+				round, q, st.DuplicateExtractions, st.Steals)
+		}
+	}
+}
