@@ -9,16 +9,21 @@
 //	fibril-bench -experiment fig3 -reps 10  # the paper's ten repetitions
 //
 // Experiments: fig3, fig4, table2, table3, table4, mmap-vs-madvise,
-// depth-restricted, stack-pool, stealpath, forkpath, memory, counters,
-// all. See EXPERIMENTS.md for the mapping to the paper and the expected
-// shapes.
+// depth-restricted, stack-pool, stealpath, forkpath, stealpolicy, memory,
+// counters, all. See EXPERIMENTS.md for the mapping to the paper and the
+// expected shapes.
 //
-// The stealpath, forkpath, and memory experiments support -json <path>,
-// writing their rows as a JSON array — the machine-readable seeds of the
-// repo's perf trajectory (results/BENCH_stealpath.json,
-// results/BENCH_forkpath.json, and results/BENCH_memory.json). A committed BENCH_memory.json can be
+// The stealpath, forkpath, stealpolicy, and memory experiments support
+// -json <path>, writing their rows as a JSON array — the machine-readable
+// seeds of the repo's perf trajectory (results/BENCH_stealpath.json,
+// results/BENCH_forkpath.json, results/BENCH_stealpolicy.json, and
+// results/BENCH_memory.json). A committed BENCH_memory.json can be
 // re-validated without re-running via -validate-memory <path>, which fails
-// if the file is malformed, empty, or any row left its space envelope.
+// if the file is malformed, empty, or any row left its space envelope;
+// -validate-stealpolicy <path> does the same for BENCH_stealpolicy.json,
+// asserting the locality gate on the sim rows: every affinity policy must
+// beat random on cold steals and warm fraction while staying within 10% of
+// random's makespan.
 package main
 
 import (
@@ -41,7 +46,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | stealpath | forkpath | memory | counters | all")
+			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | stealpath | forkpath | stealpolicy | memory | counters | all")
 		full = flag.Bool("full", false,
 			"use simulation-scale inputs and the paper's worker grid (slow)")
 		reps      = flag.Int("reps", 3, "timing repetitions for real-runtime measurements")
@@ -52,6 +57,8 @@ func main() {
 			"simulate with the help-first child-stealing engine instead of the paper's work-first discipline")
 		validateMemory = flag.String("validate-memory", "",
 			"validate an existing BENCH_memory.json at this path and exit (CI smoke)")
+		validateStealPolicy = flag.String("validate-stealpolicy", "",
+			"validate an existing BENCH_stealpolicy.json at this path and exit (CI smoke)")
 		serve = flag.String("serve", "",
 			"serve live runtime metrics on this address (e.g. :8080) while experiments run; JSON at /debug/vars under the \"fibril\" key")
 	)
@@ -63,6 +70,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("fibril-bench: %s ok\n", *validateMemory)
+		return
+	}
+	if *validateStealPolicy != "" {
+		if err := checkStealPolicyJSON(*validateStealPolicy); err != nil {
+			fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fibril-bench: %s ok\n", *validateStealPolicy)
 		return
 	}
 
@@ -160,6 +175,15 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	case "stealpolicy":
+		rows, t := exper.StealPolicy(opts)
+		emit(t)
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+				os.Exit(1)
+			}
+		}
 	case "memory":
 		rows, t := exper.Memory(opts)
 		emit(t)
@@ -189,10 +213,12 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		// -json targets the stealpath rows in "all" mode; run forkpath
-		// and memory for their tables only.
+		// -json targets the stealpath rows in "all" mode; run forkpath,
+		// stealpolicy, and memory for their tables only.
 		_, ft := exper.ForkPath(opts)
 		emit(ft)
+		_, pt := exper.StealPolicy(opts)
+		emit(pt)
 		_, mt := exper.Memory(opts)
 		emit(mt)
 		emit(exper.CountersSmoke(opts))
@@ -251,6 +277,86 @@ func checkMemoryJSON(path string) error {
 		if !r.WithinEnvelope {
 			return fmt.Errorf("%s: row %d (%s/%s) left its space envelope: maxRSS=%d > %d pages",
 				path, i, r.Benchmark, r.Mode, r.MaxRSSPages, r.EnvelopePages)
+		}
+	}
+	return nil
+}
+
+// checkStealPolicyJSON validates a BENCH_stealpolicy.json: it must parse
+// as a non-empty []exper.StealPolicyRow containing both real and sim rows,
+// and the sim rows for lastvictim and stealhalf must satisfy the locality
+// gate per benchmark — the policy re-hits warm victims strictly more often
+// than random, pays no more cold raids, and stays within 10% of random's
+// makespan. The gate is deliberately on the cache split, not raw makespan:
+// on fib-like trees steals are off the critical path, so random is already
+// makespan-near-optimal and the locality win shows up as warm-raid
+// fraction and cold-raid count. nearvictim is exempt: neighbour-first
+// probing diffuses work slowly around the ring, and that load-balancing
+// loss swamps the cheap hops — the experiment reports it as the measured
+// cost of abandoning random victim selection, not as a win.
+func checkStealPolicyJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rows []exper.StealPolicyRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return fmt.Errorf("%s: malformed: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%s: no rows", path)
+	}
+	random := map[string]exper.StealPolicyRow{} // sim random row per benchmark
+	reals := 0
+	for i, r := range rows {
+		if r.Benchmark == "" || r.Policy == "" || r.Workers <= 0 {
+			return fmt.Errorf("%s: row %d incomplete: %+v", path, i, r)
+		}
+		switch r.Kind {
+		case "real":
+			reals++
+		case "sim":
+			if r.Policy == "random" {
+				random[r.Benchmark] = r
+			}
+		default:
+			return fmt.Errorf("%s: row %d has unknown kind %q", path, i, r.Kind)
+		}
+	}
+	if reals == 0 {
+		return fmt.Errorf("%s: no real-runtime rows", path)
+	}
+	if len(random) == 0 {
+		return fmt.Errorf("%s: no sim random baseline rows", path)
+	}
+	warmFrac := func(r exper.StealPolicyRow) float64 {
+		// Raids only: StealHalf loot extras count as steals but ride a
+		// single raid's cache cost, so they belong in neither bucket.
+		raids := r.WarmSteals + r.ColdSteals
+		if raids == 0 {
+			return 0
+		}
+		return float64(r.WarmSteals) / float64(raids)
+	}
+	for i, r := range rows {
+		if r.Kind != "sim" || r.Policy != "lastvictim" && r.Policy != "stealhalf" {
+			continue
+		}
+		base, ok := random[r.Benchmark]
+		if !ok {
+			return fmt.Errorf("%s: row %d (%s/%s) has no random baseline", path, i, r.Benchmark, r.Policy)
+		}
+		if r.ColdSteals > base.ColdSteals {
+			return fmt.Errorf("%s: %s/%s pays %d cold steals, random pays %d",
+				path, r.Benchmark, r.Policy, r.ColdSteals, base.ColdSteals)
+		}
+		if warmFrac(r) <= warmFrac(base) {
+			return fmt.Errorf("%s: %s/%s warm fraction %.3f not above random's %.3f",
+				path, r.Benchmark, r.Policy, warmFrac(r), warmFrac(base))
+		}
+		if float64(r.Makespan) > 1.10*float64(base.Makespan) {
+			return fmt.Errorf("%s: %s/%s makespan %d exceeds 110%% of random's %d",
+				path, r.Benchmark, r.Policy, r.Makespan, base.Makespan)
 		}
 	}
 	return nil

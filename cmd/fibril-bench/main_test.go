@@ -2,6 +2,7 @@ package main
 
 import (
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -35,6 +36,25 @@ func TestBenchStealpathSmoke(t *testing.T) {
 		if !strings.Contains(strings.ToLower(out), want) {
 			t.Errorf("stealpath output lacks %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestBenchStealPolicySmokeAndValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the bench binary; skipped in short mode")
+	}
+	path := filepath.Join(t.TempDir(), "stealpolicy.json")
+	out := runCmd(t, ".", "-experiment", "stealpolicy", "-reps", "1", "-bench", "fib", "-json", path)
+	// Both vehicles and every policy must appear in the table.
+	for _, want := range []string{"real", "sim", "random", "lastvictim", "nearvictim", "stealhalf"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Errorf("stealpolicy output lacks %q:\n%s", want, out)
+		}
+	}
+	// Round-trip: the emitted JSON must pass the locality gate.
+	out = runCmd(t, ".", "-validate-stealpolicy", path)
+	if !strings.Contains(out, "ok") {
+		t.Errorf("validate-stealpolicy did not report ok:\n%s", out)
 	}
 }
 

@@ -21,6 +21,10 @@ type Options struct {
 	// eager unmap, no ceiling). The simulators do not model the engine, so
 	// the sim legs ignore this.
 	Mem []MemParams
+	// Policies are the steal policies each real-runtime leg is run with.
+	// Default {StealRandom}. The sim legs model policies separately (and
+	// with their own cost model), so they always run the default.
+	Policies []core.StealPolicy
 	// SimWorkers are the simulator worker counts, run with both the
 	// help-first and the work-first engine. Default {1, 3}; nil-able via
 	// NoSim.
@@ -44,6 +48,9 @@ func (o Options) withDefaults() Options {
 	if len(o.Mem) == 0 {
 		o.Mem = []MemParams{{}}
 	}
+	if len(o.Policies) == 0 {
+		o.Policies = []core.StealPolicy{core.StealRandom}
+	}
 	if len(o.SimWorkers) == 0 {
 		o.SimWorkers = []int{1, 3}
 	}
@@ -66,11 +73,13 @@ func Differential(p *Program, opts Options) error {
 		for _, dk := range opts.Deques {
 			for _, workers := range opts.Workers {
 				for _, mem := range opts.Mem {
-					e := RunReal(p, workers, dk, strat, mem)
-					if p.Panics > 0 {
-						errs = append(errs, CheckRealPanic(p, e))
-					} else {
-						errs = append(errs, CheckReal(p, m, e))
+					for _, pol := range opts.Policies {
+						e := RunReal(p, workers, dk, strat, pol, mem)
+						if p.Panics > 0 {
+							errs = append(errs, CheckRealPanic(p, e))
+						} else {
+							errs = append(errs, CheckReal(p, m, e))
+						}
 					}
 				}
 			}

@@ -251,6 +251,32 @@ func CheckReal(p *Program, m invoke.Metrics, e RealExec) error {
 		v.failf("VM.DummyTouches=%d, want 0 (touched a dummy-mapped page)", st.VM.DummyTouches)
 	}
 
+	// Arena conservation (the zero-allocation fork path). On a non-panic
+	// run every harness release site executes, so acquires and releases
+	// balance exactly; every remote hand-back is adopted by a drain or
+	// still parked on a remote-free list at quiescence — never lost; and
+	// both remote traffic and drops are subsets of the release flow.
+	if st.ArenaAcquires != st.ArenaReleases {
+		v.failf("ArenaAcquires=%d != ArenaReleases=%d", st.ArenaAcquires, st.ArenaReleases)
+	}
+	if st.RemoteFrees+st.ArenaDrops > st.ArenaReleases {
+		v.failf("RemoteFrees=%d + ArenaDrops=%d > ArenaReleases=%d",
+			st.RemoteFrees, st.ArenaDrops, st.ArenaReleases)
+	}
+	if st.RemoteDrains > st.RemoteFrees {
+		v.failf("RemoteDrains=%d > RemoteFrees=%d (adopted more than was handed back)",
+			st.RemoteDrains, st.RemoteFrees)
+	}
+	if got := st.RemoteFrees - st.RemoteDrains; got != int64(e.Backlog) {
+		v.failf("RemoteFrees-RemoteDrains=%d != RemoteFreeBacklog=%d (a hand-back was lost)",
+			got, e.Backlog)
+	}
+	if st.Workers == 1 && st.Strategy != core.StrategyGoroutine && st.RemoteFrees != 0 {
+		// One slot releases only onto itself; remote traffic needs a
+		// foreign releaser.
+		v.failf("P=1 run handed %d blocks to a remote-free list", st.RemoteFrees)
+	}
+
 	// Pool conservation: a stack is created only when nothing free is
 	// found, so creations and peak checkout coincide — exactly on the
 	// serialized global pool; on the sharded pool a taker can miss a stack
@@ -361,6 +387,16 @@ func CheckRealPanic(p *Program, e RealExec) error {
 	if e.Deque != core.DequeRelaxed && st.DuplicateExtractions != 0 {
 		v.failf("deque %v reported %d duplicate extractions under panic, want 0",
 			e.Deque, st.DuplicateExtractions)
+	}
+	// A panic unwind skips release sites (the arena contract forbids
+	// releasing a block an in-flight child may still reference), so the
+	// balance law relaxes to an inequality; the backlog law still holds —
+	// blocks that did reach a remote-free list are never lost.
+	if st.ArenaReleases > st.ArenaAcquires {
+		v.failf("ArenaReleases=%d > ArenaAcquires=%d under panic", st.ArenaReleases, st.ArenaAcquires)
+	}
+	if got := st.RemoteFrees - st.RemoteDrains; got != int64(e.Backlog) {
+		v.failf("RemoteFrees-RemoteDrains=%d != RemoteFreeBacklog=%d under panic", got, e.Backlog)
 	}
 	return v.err()
 }

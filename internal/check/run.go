@@ -172,12 +172,14 @@ func (mp MemParams) String() string {
 type RealExec struct {
 	Label     string
 	Mem       MemParams
-	Deque     core.DequeKind // deque kind the run used (relaxed laws differ)
-	Counts    []uint32       // executions per node ID
+	Deque     core.DequeKind   // deque kind the run used (relaxed laws differ)
+	Policy    core.StealPolicy // steal policy the run used
+	Counts    []uint32         // executions per node ID
 	Stats     core.Stats
 	Queued    int          // tasks left in deques at quiescence (must be 0)
 	Parked    int          // thieves still parked at quiescence (must be 0)
 	Pending   int          // live reclaim tickets at quiescence (must be 0)
+	Backlog   int          // Scratch blocks parked on remote-free lists at quiescence
 	MaxHW     int          // largest per-stack high-water mark, in pages
 	Recovered any          // value recovered from Run, if it panicked
 	Trace     TraceSummary // recorded event stream, reconciled against Stats
@@ -193,8 +195,11 @@ const traceRecorderCap = 1 << 21
 // everything the oracles need. The runtime's steal RNG is seeded from the
 // program seed (decorrelated by a constant) so executions are as
 // reproducible as goroutine scheduling allows.
-func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy, mem MemParams) RealExec {
+func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy, pol core.StealPolicy, mem MemParams) RealExec {
 	label := fmt.Sprintf("real/%v/%v/P=%d", strat, dk, workers)
+	if pol != core.StealRandom {
+		label += "/" + pol.String()
+	}
 	if s := mem.String(); s != "" {
 		label += "[" + s + "]"
 	}
@@ -202,6 +207,7 @@ func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy, me
 		Label:  label,
 		Mem:    mem,
 		Deque:  dk,
+		Policy: pol,
 		Counts: make([]uint32, p.Nodes),
 	}
 	rec := trace.NewRecorder(traceRecorderCap)
@@ -211,6 +217,7 @@ func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy, me
 		Deque:            dk,
 		FrameBytes:       p.Root.Frame, // the root task charges its own frame
 		StackPages:       harnessStackPages,
+		StealPolicy:      pol,
 		Seed:             p.Seed ^ 0xC0FFEE,
 		Pool:             mem.Pool,
 		UnmapBatch:       mem.UnmapBatch,
@@ -227,6 +234,7 @@ func RunReal(p *Program, workers int, dk core.DequeKind, strat core.Strategy, me
 	e.Queued = rt.QueuedTasks()
 	e.Parked = rt.ParkedThieves()
 	e.Pending = rt.PendingReclaims()
+	e.Backlog = rt.RemoteFreeBacklog()
 	e.MaxHW = rt.MaxStackHighWaterPages()
 	return e
 }

@@ -1,6 +1,9 @@
 package core
 
-import "unsafe"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
 // This file implements the per-worker-slot free-list arena behind the
 // zero-allocation fork path, after Blelloch & Wei's per-processor
@@ -12,15 +15,29 @@ import "unsafe"
 // acquired on one slot may be released on whichever slot its releaser
 // occupies by then, which is exactly how Blelloch–Wei keeps per-processor
 // pools balanced without a global structure.
+//
+// Under heavy stealing the local lists alone are not enough: steal-heavy
+// workloads systematically acquire on one slot and release on another, so
+// the releaser's hoard fills to its cap and overflows while the acquirer's
+// empties and falls back to the heap — precisely the GC churn the arena
+// exists to avoid. Each slot therefore also owns a *remote-free* list (the
+// weave-allocator shape): a lock-free MPSC Treiber stack any worker may
+// push a block onto when it cannot keep it locally, drained wholesale by
+// the home slot on its next local miss. Push is a single CAS (ABA-safe:
+// only the drain removes, and it removes the whole list with one Swap);
+// drain is one Swap plus a plain-walk adoption.
 
 // ScratchBytes is the size of a Scratch block's payload area.
 const ScratchBytes = 16 * 8
 
-// arenaHoardCap bounds a slot's free list. Beyond it a released block is
-// simply dropped for the GC to collect — the "heap under pressure"
-// fallback, which also keeps a burst of deep recursion from pinning an
-// unbounded hoard on one slot forever.
+// arenaHoardCap bounds a slot's local free list; a release beyond it is
+// handed to the block's home slot's remote-free list instead.
 const arenaHoardCap = 64
+
+// remoteHoardCap bounds a slot's remote-free list (approximately — the
+// gate reads a racy counter). A block that fits on neither list is dropped
+// for the GC to collect, counted in Stats.ArenaDrops.
+const remoteHoardCap = 64
 
 // Scratch is one fixed-size arena block: a Frame plus ScratchBytes of
 // payload for the fork's argument record, so one block carries everything
@@ -36,7 +53,12 @@ const arenaHoardCap = 64
 // satisfy this by keeping the user's closures and result slots alive in
 // the root caller's frame for the duration.
 type Scratch struct {
-	next  *Scratch // free-list link; nil while the block is in flight
+	next *Scratch // free-list link; nil while the block is in flight
+	// home is the slot whose arena the block belongs to: the slot it was
+	// last acquired from or hoarded on. -1 for heap-born blocks of
+	// slotless (goroutine-baseline) workers, which have no home to return
+	// to. Only the block's exclusive owner writes it.
+	home  int32
 	frame Frame
 	buf   [ScratchBytes / 8]uint64
 }
@@ -49,49 +71,135 @@ func (s *Scratch) Frame() *Frame { return &s.frame }
 // reachability contract).
 func (s *Scratch) Ptr() unsafe.Pointer { return unsafe.Pointer(&s.buf[0]) }
 
-// frameArena is one slot's private free list of Scratch blocks.
+// frameArena is one slot's Scratch free lists: the owner-private local
+// list plus the any-worker remote-free hand-back list.
 type frameArena struct {
-	free *Scratch
+	free *Scratch // local list; owner-only plain memory
 	n    int
+	// remote is the MPSC hand-back list: pushed with a CAS by any worker
+	// releasing one of this slot's blocks, emptied with one Swap by the
+	// slot owner on a local miss. remoteN is the racy length gate for
+	// remoteHoardCap; it is advisory only — exact accounting comes from
+	// the RemoteFrees/RemoteDrains counters.
+	remote  atomic.Pointer[Scratch]
+	remoteN atomic.Int32
 }
 
-// AcquireScratch returns a Scratch block: from the current slot's free
-// list when one is hoarded (the steady-state, allocation-free path), from
-// the heap otherwise. Slotless workers (goroutine baseline) always take
-// the heap path.
+// pushRemote hands s back to this arena's home slot. Any worker may call
+// it; the Treiber push is ABA-safe because the only removal is the drain's
+// whole-list Swap.
+func (a *frameArena) pushRemote(s *Scratch) {
+	for {
+		old := a.remote.Load()
+		s.next = old
+		if a.remote.CompareAndSwap(old, s) {
+			a.remoteN.Add(1)
+			return
+		}
+	}
+}
+
+// AcquireScratch returns a Scratch block: from the current slot's local
+// free list when one is hoarded (the steady-state, allocation-free path),
+// from the slot's remote-free list on a local miss (adopting every block
+// foreign releasers handed back), and from the heap only when both are
+// empty. Slotless workers (goroutine baseline) always take the heap path.
 func (w *W) AcquireScratch() *Scratch {
+	w.stats.arenaAcquires.Add(1)
 	if w.slot != nil {
-		if s := w.slot.arena.free; s != nil {
-			w.slot.arena.free = s.next
-			w.slot.arena.n--
+		a := &w.slot.arena
+		if s := a.free; s != nil {
+			a.free = s.next
+			a.n--
 			s.next = nil
 			return s
 		}
+		if a.remoteN.Load() > 0 {
+			if s := w.drainRemote(a); s != nil {
+				return s
+			}
+		}
+		s := new(Scratch)
+		s.home = int32(w.slot.id)
+		return s
 	}
-	return new(Scratch)
+	s := new(Scratch)
+	s.home = -1
+	return s
 }
 
-// ReleaseScratch returns s to the current slot's free list. It must only
-// be called once the block is quiescent: the Join on its frame has
-// returned and no task still holds the payload pointer. It must NOT be
-// called on a panic unwind — an in-flight child may still reference the
-// block, so leaking it to the GC is the only safe disposal; the callers'
-// release sites are skipped by unwinding naturally, never deferred.
+// drainRemote empties the slot's remote-free list, adopting every block
+// into the local list (re-stamping home — they are this slot's blocks
+// again) and returning one of them; nil if the list was empty. The local
+// list may transiently exceed arenaHoardCap after a large drain; later
+// releases shed the excess through the remote path or the GC.
+func (w *W) drainRemote(a *frameArena) *Scratch {
+	s := a.remote.Swap(nil)
+	if s == nil {
+		return nil
+	}
+	home := int32(w.slot.id)
+	n := 1
+	tail := s
+	s.home = home
+	for tail.next != nil {
+		tail = tail.next
+		tail.home = home
+		n++
+	}
+	a.remoteN.Add(int32(-n))
+	w.stats.remoteDrains.Add(int64(n))
+	rest := s.next
+	s.next = nil
+	if rest != nil {
+		tail.next = a.free
+		a.free = rest
+		a.n += n - 1
+	}
+	return s
+}
+
+// ReleaseScratch returns s to the current slot's free list — or, when the
+// local hoard is full or the releaser is slotless, hands it back to its
+// home slot's remote-free list so steal-heavy acquire-here/release-there
+// traffic recirculates instead of churning the GC. A block that fits
+// nowhere is dropped (Stats.ArenaDrops).
+//
+// It must only be called once the block is quiescent: the Join on its
+// frame has returned and no task still holds the payload pointer. It must
+// NOT be called on a panic unwind — an in-flight child may still reference
+// the block, so leaking it to the GC is the only safe disposal; the
+// callers' release sites are skipped by unwinding naturally, never
+// deferred.
 //
 // The frame's references are dropped so a hoarded block pins nothing; the
 // resume channel is deliberately kept, making repeat suspensions on
 // recycled frames allocation-free.
 func (w *W) ReleaseScratch(s *Scratch) {
-	if w.slot == nil || !w.arenaOK || w.slot.arena.n >= arenaHoardCap {
-		return // heap fallback: the GC takes it
-	}
+	w.stats.arenaReleases.Add(1)
 	f := &s.frame
 	f.count.Store(0)
 	f.stack = nil
-	f.parent = nil
+	f.parent.Store(nil)
 	f.pendingReclaim = nil
 	f.panicked = nil
-	s.next = w.slot.arena.free
-	w.slot.arena.free = s
-	w.slot.arena.n++
+	if w.slot != nil {
+		a := &w.slot.arena
+		if a.n < arenaHoardCap {
+			s.home = int32(w.slot.id) // adopted: the block lives here now
+			s.next = a.free
+			a.free = s
+			a.n++
+			return
+		}
+	}
+	if h := s.home; h >= 0 && int(h) < len(w.rt.workers) {
+		ra := &w.rt.workers[h].arena
+		if ra.remoteN.Load() < remoteHoardCap {
+			ra.pushRemote(s)
+			w.stats.remoteFrees.Add(1)
+			return
+		}
+	}
+	w.stats.arenaDrops.Add(1) // heap fallback: the GC takes it
 }

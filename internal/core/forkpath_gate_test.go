@@ -1,0 +1,198 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"unsafe"
+)
+
+// This file is the steal-heavy zero-allocation gate for the ForkArg fork
+// path: at P=4, with thieves constantly raiding the arena-backed fib
+// workload, a warm runtime must stay at (amortized) zero heap allocations
+// per fork for every deque kind. Before the remote-free lists, heavy
+// stealing systematically acquired Scratch blocks on one slot and released
+// them on another, overflowing the releaser's hoard and starving the
+// acquirer into the heap — this gate is the regression fence for that.
+
+// gateCtx is the argument record of one gate-fib child; two of them plus
+// the join frame fit in a single arena block.
+type gateCtx struct {
+	n   int
+	res int64
+}
+
+const _ = uint(ScratchBytes - unsafe.Sizeof([2]gateCtx{}))
+
+const gateFrameBytes = 128
+
+// gateTask is the package-level trampoline carried by the fork: a static
+// code pointer plus a *gateCtx, no closure.
+func gateTask(w *W, p unsafe.Pointer) {
+	c := (*gateCtx)(p)
+	c.res = gateFib(w, c.n)
+}
+
+// gateFib is parfib on the ForkArg fast path: frame and both argument
+// records live in one Scratch block (mirroring the bench package's fib).
+func gateFib(w *W, n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	s := w.AcquireScratch()
+	pay := (*[2]gateCtx)(s.Ptr())
+	pay[0].n = n - 1
+	pay[1].n = n - 2
+	fr := s.Frame()
+	w.Init(fr)
+	w.ForkArgSized(fr, gateFrameBytes, gateTask, unsafe.Pointer(&pay[0]))
+	w.CallArgSized(gateFrameBytes, gateTask, unsafe.Pointer(&pay[1]))
+	w.Join(fr)
+	res := pay[0].res + pay[1].res
+	w.ReleaseScratch(s)
+	return res
+}
+
+// TestForkPathGate asserts the steal-heavy zero-allocation contract: after
+// a warm-up run, a P=4 gate-fib run performs strictly fewer heap
+// allocations than forks (0 allocs/op amortized) on every deque kind, and
+// stays under a per-kind budget that charges a constant per steal (thief
+// goroutine + stack machinery) plus a small warm-path base:
+//
+//   - THE: nothing on the fork path allocates — 64 base + 32/steal.
+//   - Chase-Lev: thieves permanently consume boxed nodes; the owner's
+//     recycling free list caps the steady-state cost at roughly one node
+//     per steal — 256 base + 48/steal.
+//   - Relaxed: published nodes are never recycled, but the publication
+//     backoff bounds steady-state stray boxing to ~1 per relWasteDecay
+//     pushes — 256 base + 48/steal + forks/128.
+//
+// StealHalf runs the same budgets: loot batching must not add per-fork
+// allocations (the loot buffer is stack-allocated; the loose queue's
+// backing array amortizes into the per-steal constant).
+func TestForkPathGate(t *testing.T) {
+	const n = 24
+	want := fibSerial(n)
+	// On a 1-CPU host the thief goroutines barely get scheduled and the
+	// gate degenerates to a steal-free run; oversubscribe the Go scheduler
+	// so the P=4 workers genuinely interleave and steal.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	for _, dk := range DequeKinds() {
+		for _, pol := range []StealPolicy{StealRandom, StealHalf} {
+			t.Run(dk.String()+"/"+pol.String(), func(t *testing.T) {
+				rt := NewRuntime(Config{Workers: 4, Deque: dk, StealPolicy: pol})
+				var out int64
+				rt.Run(func(w *W) { out = gateFib(w, n) }) // warm arenas, stacks, thieves
+				st0 := rt.Stats()
+				runtime.GC()
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				rt.Run(func(w *W) { out = gateFib(w, n) })
+				runtime.ReadMemStats(&m1)
+				st1 := rt.Stats()
+				if out != want {
+					t.Fatalf("gateFib(%d) = %d, want %d", n, out, want)
+				}
+				ops := st1.Forks - st0.Forks
+				steals := st1.Steals - st0.Steals
+				got := int64(m1.Mallocs - m0.Mallocs)
+				var budget int64
+				switch dk {
+				case DequeTHE:
+					budget = 64 + 32*steals
+				case DequeChaseLev:
+					budget = 256 + 48*steals
+				default: // DequeRelaxed
+					budget = 256 + 48*steals + ops/128
+				}
+				t.Logf("%s/%s: %d allocs over %d forks (%d steals), budget %d",
+					dk, pol, got, ops, steals, budget)
+				if got >= ops {
+					t.Errorf("%d allocs >= %d forks: fork path is allocating per op", got, ops)
+				}
+				if got > budget {
+					t.Errorf("%d allocs > budget %d (%d steals)", got, budget, steals)
+				}
+			})
+		}
+	}
+}
+
+// TestScratchRecyclingUnderStealing asserts the arena's conservation laws
+// under real concurrent stealing: acquires and releases balance, remote
+// hand-backs are all adopted or still parked, and the hoards (local +
+// remote-free) absorb enough of the acquire-here/release-there traffic
+// that drops to the GC stay a small fraction of the release flow.
+func TestScratchRecyclingUnderStealing(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	rt := NewRuntime(Config{Workers: 4})
+	var out int64
+	rt.Run(func(w *W) { out = gateFib(w, 24) })
+	rt.Run(func(w *W) { out = gateFib(w, 24) })
+	st := rt.Stats()
+	if want := fibSerial(24); out != want {
+		t.Fatalf("gateFib(24) = %d, want %d", out, want)
+	}
+	if st.ArenaAcquires == 0 {
+		t.Fatal("gate workload performed no arena acquires")
+	}
+	if st.ArenaAcquires != st.ArenaReleases {
+		t.Errorf("ArenaAcquires=%d != ArenaReleases=%d", st.ArenaAcquires, st.ArenaReleases)
+	}
+	if st.RemoteDrains > st.RemoteFrees {
+		t.Errorf("RemoteDrains=%d > RemoteFrees=%d", st.RemoteDrains, st.RemoteFrees)
+	}
+	if got, backlog := st.RemoteFrees-st.RemoteDrains, int64(rt.RemoteFreeBacklog()); got != backlog {
+		t.Errorf("RemoteFrees-RemoteDrains=%d != RemoteFreeBacklog=%d", got, backlog)
+	}
+	if st.ArenaDrops > st.ArenaReleases/4 {
+		t.Errorf("ArenaDrops=%d > releases/4 (%d): hoards are not absorbing steal traffic",
+			st.ArenaDrops, st.ArenaReleases/4)
+	}
+	t.Logf("acquires=%d releases=%d remoteFrees=%d remoteDrains=%d drops=%d",
+		st.ArenaAcquires, st.ArenaReleases, st.RemoteFrees, st.RemoteDrains, st.ArenaDrops)
+}
+
+// TestArenaRemoteFreePaths drives every ReleaseScratch disposition
+// deterministically from a single worker (a full local hoard sheds to the
+// block's home remote list, a full remote list drops to the GC, and a
+// local miss drains the remote list wholesale), checking the exact counter
+// values the conservation oracles reason about. A slot's own blocks
+// recirculate through its own remote list when the hoard is full, so no
+// cross-slot scheduling is needed to reach the remote paths.
+func TestArenaRemoteFreePaths(t *testing.T) {
+	const total = arenaHoardCap + remoteHoardCap + 2
+	rt := NewRuntime(Config{Workers: 2})
+	rt.Run(func(w *W) {
+		blocks := make([]*Scratch, total)
+		for round := 0; round < 2; round++ {
+			for i := range blocks {
+				blocks[i] = w.AcquireScratch()
+			}
+			for _, s := range blocks {
+				w.ReleaseScratch(s)
+			}
+		}
+	})
+	st := rt.Stats()
+	// Per round: arenaHoardCap releases adopt locally, remoteHoardCap go
+	// remote, 2 drop. Round 2's acquires drain round 1's remote list.
+	if want := int64(2 * total); st.ArenaAcquires != want || st.ArenaReleases != want {
+		t.Errorf("acquires=%d releases=%d, want both %d", st.ArenaAcquires, st.ArenaReleases, want)
+	}
+	if want := int64(2 * remoteHoardCap); st.RemoteFrees != want {
+		t.Errorf("RemoteFrees=%d, want %d", st.RemoteFrees, want)
+	}
+	if want := int64(remoteHoardCap); st.RemoteDrains != want {
+		t.Errorf("RemoteDrains=%d, want %d", st.RemoteDrains, want)
+	}
+	if want := int64(4); st.ArenaDrops != want {
+		t.Errorf("ArenaDrops=%d, want %d", st.ArenaDrops, want)
+	}
+	if got, want := rt.RemoteFreeBacklog(), remoteHoardCap; got != want {
+		t.Errorf("RemoteFreeBacklog=%d, want %d", got, want)
+	}
+}

@@ -10,11 +10,12 @@ import "fibril/internal/stack"
 // left behind.
 
 // QueuedTasks returns the total number of tasks sitting in the worker
-// deques. After a completed Run this must be zero: a leftover task is a
-// fork that was never executed, a direct violation of the exactly-once
-// guarantee (and of busy-leaves — the run ended while work existed).
+// deques plus the StealHalf overflow queue. After a completed Run this
+// must be zero: a leftover task is a fork that was never executed, a
+// direct violation of the exactly-once guarantee (and of busy-leaves —
+// the run ended while work existed).
 func (rt *Runtime) QueuedTasks() int {
-	n := 0
+	n := rt.loose.len()
 	for _, w := range rt.workers {
 		n += w.deque.Len()
 		// The relaxed deque's Len covers only its published window; tasks
@@ -22,6 +23,21 @@ func (rt *Runtime) QueuedTasks() int {
 		// be empty.
 		if u, ok := w.deque.(interface{ Unpublished() int }); ok {
 			n += u.Unpublished()
+		}
+	}
+	return n
+}
+
+// RemoteFreeBacklog returns the number of Scratch blocks parked on the
+// slots' remote-free lists (exact only at quiescence, when no drain races
+// the walk). At quiescence it must equal Stats.RemoteFrees -
+// Stats.RemoteDrains: a hand-back is either adopted by a later drain or
+// still on a list — never lost.
+func (rt *Runtime) RemoteFreeBacklog() int {
+	n := 0
+	for _, w := range rt.workers {
+		for s := w.arena.remote.Load(); s != nil; s = s.next {
+			n++
 		}
 	}
 	return n

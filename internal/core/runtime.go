@@ -46,7 +46,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 	"unsafe"
 
 	"fibril/internal/deque"
@@ -211,20 +210,29 @@ func PoolKinds() []PoolKind { return []PoolKind{PoolSharded, PoolGlobal} }
 // taskDeque abstracts over the deque implementations so every strategy —
 // including the restricted-stealing ones, which need StealIf — runs
 // unchanged on either. Push, Pop and LazyHint are owner-only; Steal,
-// StealIf and Len may be called from any goroutine.
+// StealIf, StealBatch and Len may be called from any goroutine.
 type taskDeque interface {
 	Push(task)
 	Pop() (task, bool)
 	Steal() (task, bool)
 	StealIf(func(task) bool) (task, bool)
+	StealBatch([]task) int
 	Len() int
 	LazyHint() bool
 }
 
-func newTaskDeque(k DequeKind) taskDeque {
+// newTaskDeque builds one worker slot's deque. recycle enables the
+// Chase-Lev owner-side node free list, which is safe only for strategies
+// whose thieves never use StealIf (see deque.ChaseLev.EnableRecycling);
+// the other kinds ignore it.
+func newTaskDeque(k DequeKind, recycle bool) taskDeque {
 	switch k {
 	case DequeChaseLev:
-		return &deque.ChaseLev[task]{}
+		d := &deque.ChaseLev[task]{}
+		if recycle {
+			d.EnableRecycling()
+		}
+		return d
 	case DequeRelaxed:
 		return &deque.Relaxed[task]{}
 	default:
@@ -242,6 +250,11 @@ type Config struct {
 	// default) matches the paper's runtime; DequeChaseLev makes the steal
 	// path lock-free.
 	Deque DequeKind
+	// StealPolicy selects the thief victim-selection policy. StealRandom
+	// (the default) is the paper's uniformly random sweep; the locality
+	// policies (StealLastVictim, StealNearVictim, StealHalf) trade its
+	// load-balancing guarantees for cache affinity — see StealPolicy.
+	StealPolicy StealPolicy
 	// StackPages is the size of each simulated stack. Default
 	// stack.DefaultStackPages (1 MB of 4 KB pages, as in the paper).
 	StackPages int
@@ -312,17 +325,19 @@ func (c Config) withDefaults() Config {
 // worker is one worker slot: Listing 3's worker_t, a (deque, stack) pair.
 // The stack half lives on the goroutine currently occupying the slot (see
 // package comment); the slot itself carries the deque, the steal RNG, and
-// the slot's victim-locality hint. Only the occupying goroutine touches
-// rng and lastVictim.
+// the slot's victim-locality hints. Only the occupying goroutine touches
+// rng, lastVictim and victimMisses.
 type worker struct {
-	id         int
-	deque      taskDeque
-	rng        rng
-	lastVictim int // most recent successful victim slot; -1 when none
+	id           int
+	deque        taskDeque
+	rng          rng
+	lastVictim   int // most recent successful victim slot; -1 when none
+	victimMisses int // consecutive failed sweeps since the last success
 
 	// arena is the slot's Blelloch–Wei-style free list of fixed-size
-	// Scratch blocks (frame + fork payload); only the goroutine currently
-	// occupying the slot touches it, so Acquire/Release need no atomics.
+	// Scratch blocks (frame + fork payload); the local half is touched
+	// only by the goroutine currently occupying the slot (no atomics), the
+	// remote half is an MPSC hand-back list any worker may push to.
 	arena frameArena
 }
 
@@ -383,6 +398,10 @@ type Runtime struct {
 	done    atomic.Bool
 	park    *parkLot
 
+	// loose is the overflow queue for StealHalf loot — batch-stolen tasks
+	// awaiting a worker; see looseQueue.
+	loose looseQueue
+
 	goroutineWG sync.WaitGroup // live thief goroutines (for Wait)
 
 	// rootPanic holds a *TaskPanic that escaped the root task; Run
@@ -424,7 +443,7 @@ func NewRuntime(cfg Config) *Runtime {
 	for i := range rt.workers {
 		rt.workers[i] = &worker{
 			id:         i,
-			deque:      newTaskDeque(cfg.Deque),
+			deque:      newTaskDeque(cfg.Deque, cfg.Strategy.suspends()),
 			rng:        newRNG(cfg.Seed + uint64(i)*0x1234567),
 			lastVictim: -1,
 		}
@@ -455,16 +474,6 @@ func (rt *Runtime) newW(slot *worker, st *stack.Stack, sh *counterShard) *W {
 			rt.cfg.Strategy == StrategyTBB ||
 			rt.cfg.Strategy == StrategyGoroutine,
 		wantsFork: rt.trc.Wants(trace.KindFork),
-		// Recycling Scratch frames is unsafe only under leapfrogging on
-		// the lock-free deques: their StealIf predicates walk a candidate
-		// frame's ancestry before the claiming CAS (Chase-Lev) or before
-		// the anchor CAS on a possibly re-extracted entry (Relaxed), so
-		// they can read a stale entry whose recycled frame is being
-		// re-initialized. Every other combination either inspects under
-		// the deque lock (THE) or never dereferences the frame (TBB's
-		// depth test).
-		arenaOK: !(rt.cfg.Strategy == StrategyLeapfrog &&
-			(rt.cfg.Deque == DequeChaseLev || rt.cfg.Deque == DequeRelaxed)),
 	}
 }
 
@@ -554,7 +563,7 @@ func (rt *Runtime) thiefLoop(slot *worker) {
 	w := rt.newW(slot, st, rt.shard(slot.id))
 	fails := 0
 	for !rt.done.Load() {
-		t, ok := rt.randomSteal(w, nil)
+		t, ok := rt.steal(w, nil)
 		if !ok {
 			fails++
 			switch {
@@ -568,7 +577,7 @@ func (rt *Runtime) thiefLoop(slot *worker) {
 				// or sees the registration and broadcasts (no lost
 				// wakeup — see parkLot).
 				t, ok = rt.park.park(func() (task, bool) {
-					return rt.randomSteal(w, nil)
+					return rt.steal(w, nil)
 				})
 				fails = 0
 			}
@@ -587,76 +596,6 @@ func (rt *Runtime) thiefLoop(slot *worker) {
 		}
 	}
 	rt.pool.Put(slot.id, w.stack)
-}
-
-// randomSteal attempts one round of randomized stealing over the other
-// worker slots; a thief never probes its own deque. The sweep probes the
-// slot's last successful victim first (steal locality), skips deques whose
-// Len snapshot is visibly empty, and charges the probe count to the
-// stealAttempts shard once per sweep instead of once per victim. If
-// restrict is non-nil only tasks it accepts are taken (depth-restricted
-// and leapfrog disciplines). It returns false after a full unsuccessful
-// sweep so callers can decide to back off or re-check their join
-// condition.
-func (rt *Runtime) randomSteal(w *W, restrict func(task) bool) (task, bool) {
-	self := w.slot.id
-	n := len(rt.workers)
-	probes := int64(0)
-	// Steal latency: how long the winning sweep took from entry to
-	// acquisition. The clock reads exist only when a sink consumes steal
-	// events, so the disabled path stays untimed.
-	var sweepStart time.Time
-	if rt.trc.Wants(trace.KindSteal) {
-		sweepStart = time.Now()
-	}
-	take := func(victim *worker) (task, bool) {
-		probes++
-		var t task
-		var ok bool
-		if restrict == nil {
-			t, ok = victim.deque.Steal()
-		} else {
-			t, ok = victim.deque.StealIf(restrict)
-		}
-		if ok && !w.claimTask(t) {
-			// A duplicate extraction from a relaxed deque: someone else
-			// already owns the execution. Treat it as a failed probe so
-			// Steals counts claim winners only.
-			return task{}, false
-		}
-		return t, ok
-	}
-	won := func(victim *worker, t task) (task, bool) {
-		w.slot.lastVictim = victim.id
-		w.stats.stealAttempts.Add(probes)
-		w.stats.steals.Add(1)
-		var lat time.Duration
-		if !sweepStart.IsZero() {
-			lat = time.Since(sweepStart)
-		}
-		rt.trc.Emit(self, trace.KindSteal, int64(victim.id), lat)
-		return t, true
-	}
-	if lv := w.slot.lastVictim; lv >= 0 && lv != self {
-		if victim := rt.workers[lv]; victim.deque.Len() > 0 {
-			if t, ok := take(victim); ok {
-				return won(victim, t)
-			}
-		}
-	}
-	start := int(w.slot.rng.next() % uint64(n))
-	for i := 0; i < n; i++ {
-		victim := rt.workers[(start+i)%n]
-		if victim.id == self || victim.deque.Len() == 0 {
-			continue
-		}
-		if t, ok := take(victim); ok {
-			return won(victim, t)
-		}
-	}
-	w.slot.lastVictim = -1
-	w.stats.stealAttempts.Add(probes)
-	return task{}, false
 }
 
 // runGoroutine executes the computation with the Go-native baseline: no

@@ -32,7 +32,12 @@ type counterShard struct {
 	reclaimedPages   atomic.Int64
 	poolReclaims     atomic.Int64
 	dupExtractions   atomic.Int64
-	_                [15]int64 // pad 17 words up to 256 bytes
+	arenaAcquires    atomic.Int64
+	arenaReleases    atomic.Int64
+	remoteFrees      atomic.Int64
+	remoteDrains     atomic.Int64
+	arenaDrops       atomic.Int64
+	_                [10]int64 // pad 22 words up to 256 bytes
 }
 
 // shard returns the counter shard for worker slot id; id -1 (slotless
@@ -78,6 +83,17 @@ type Stats struct {
 	ReclaimedPages int64 // pages reclaimed from free pooled stacks
 	PoolReclaims   int64 // madvise calls issued by those pool reclaims
 
+	// Scratch-arena counters (the zero-allocation fork path). At
+	// quiescence RemoteFrees - RemoteDrains equals the blocks parked on
+	// remote-free lists (Runtime.RemoteFreeBacklog), and for a program
+	// whose acquire/release pairs all ran (no panic unwinds skipping
+	// release sites) ArenaAcquires == ArenaReleases.
+	ArenaAcquires int64 // AcquireScratch calls (any source)
+	ArenaReleases int64 // ReleaseScratch calls (any destination)
+	RemoteFrees   int64 // releases handed back via a remote-free list
+	RemoteDrains  int64 // blocks adopted from a remote-free list
+	ArenaDrops    int64 // releases dropped to the GC (both hoards full)
+
 	StacksCreated int   // stacks ever mapped (Table 4 "# of stacks")
 	MaxStacksUsed int   // stacks simultaneously checked out
 	PoolStalls    int64 // thieves that waited on a bounded pool (Cilk Plus)
@@ -114,6 +130,11 @@ func (rt *Runtime) Stats() Stats {
 		s.ReclaimedPages += sh.reclaimedPages.Load()
 		s.PoolReclaims += sh.poolReclaims.Load()
 		s.DuplicateExtractions += sh.dupExtractions.Load()
+		s.ArenaAcquires += sh.arenaAcquires.Load()
+		s.ArenaReleases += sh.arenaReleases.Load()
+		s.RemoteFrees += sh.remoteFrees.Load()
+		s.RemoteDrains += sh.remoteDrains.Load()
+		s.ArenaDrops += sh.arenaDrops.Load()
 	}
 	return s
 }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestStealPoliciesParfib is the core-level correctness smoke for every
+// policy × deque pair: the victim-selection order and the StealHalf loot
+// protocol must not change the computed value, and the loot accounting
+// must keep the Steals/TaskStart identity the trace oracle relies on
+// (each loose task counts exactly one steal when claimed).
+func TestStealPoliciesParfib(t *testing.T) {
+	const n = 18
+	want := fibSerial(n)
+	for _, pol := range StealPolicies() {
+		for _, dk := range DequeKinds() {
+			got, stats := runParfib(t, Config{Workers: 4, Deque: dk, StealPolicy: pol}, n)
+			if got != want {
+				t.Errorf("%s/%s: parfib(%d) = %d, want %d", pol, dk, n, got, want)
+			}
+			if stats.Forks == 0 {
+				t.Errorf("%s/%s: no forks recorded", pol, dk)
+			}
+		}
+	}
+}
+
+// TestLastVictimDecay pins the affinity-decay contract: a stale anchor
+// survives exactly victimPatience-1 consecutive empty sweeps and is cleared
+// on the next, rather than being dropped on the first failed probe. The
+// test drives rt.steal directly from the root worker against an otherwise
+// idle runtime, so every sweep fails by construction.
+func TestLastVictimDecay(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2, StealPolicy: StealLastVictim})
+	rt.Run(func(w *W) {
+		w.slot.lastVictim = 1 // pretend slot 1 just fed us
+		w.slot.victimMisses = 0
+		for i := 1; i < victimPatience; i++ {
+			if _, ok := rt.steal(w, nil); ok {
+				t.Fatal("stole from an idle runtime")
+			}
+			if w.slot.lastVictim != 1 {
+				t.Fatalf("affinity dropped after %d empty sweep(s); patience is %d", i, victimPatience)
+			}
+		}
+		if _, ok := rt.steal(w, nil); ok {
+			t.Fatal("stole from an idle runtime")
+		}
+		if w.slot.lastVictim != -1 {
+			t.Errorf("affinity retained after %d empty sweeps; want cleared", victimPatience)
+		}
+		if w.slot.victimMisses != 0 {
+			t.Errorf("victimMisses = %d after decay, want 0", w.slot.victimMisses)
+		}
+	})
+}
+
+// TestLeapfrogArenaRecycling is the regression fence for the blanket
+// arena exclusion StrategyLeapfrog used to carry: Scratch blocks must
+// recycle under the leapfrog join discipline exactly as they do under
+// Fibril — acquires balance releases, and a warmed runtime's second run
+// stays below one allocation per fork on every deque kind (leapfrog never
+// suspends, so Chase-Lev owner recycling stays off and StealIf remains
+// safe; the arena must carry the zero-alloc load alone).
+func TestLeapfrogArenaRecycling(t *testing.T) {
+	const n = 22
+	want := fibSerial(n)
+	for _, dk := range DequeKinds() {
+		t.Run(dk.String(), func(t *testing.T) {
+			rt := NewRuntime(Config{Workers: 4, Strategy: StrategyLeapfrog, Deque: dk})
+			var out int64
+			rt.Run(func(w *W) { out = gateFib(w, n) }) // warm
+			st0 := rt.Stats()
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			rt.Run(func(w *W) { out = gateFib(w, n) })
+			runtime.ReadMemStats(&m1)
+			st := rt.Stats()
+			if out != want {
+				t.Fatalf("gateFib(%d) = %d, want %d", n, out, want)
+			}
+			ops := st.Forks - st0.Forks
+			got := int64(m1.Mallocs - m0.Mallocs)
+			// Chase-Lev owner recycling is deliberately off under leapfrog
+			// (StealIf dereferences nodes before the CAS), so it pays one
+			// boxed node per push; the other kinds must stay sub-1/fork.
+			budget := ops
+			if dk == DequeChaseLev {
+				budget = 2 * ops
+			}
+			t.Logf("%s: %d allocs over %d forks", dk, got, ops)
+			if got >= budget {
+				t.Errorf("%d allocs >= budget %d over %d forks: leapfrog is not recycling Scratch blocks", got, budget, ops)
+			}
+			if st.ArenaAcquires == 0 {
+				t.Fatal("no arena acquires recorded")
+			}
+			if st.ArenaAcquires != st.ArenaReleases {
+				t.Errorf("ArenaAcquires=%d != ArenaReleases=%d", st.ArenaAcquires, st.ArenaReleases)
+			}
+		})
+	}
+}

@@ -27,14 +27,13 @@ type W struct {
 	// Hot Config fields cached at W creation (see Runtime.newW), so the
 	// fork fast path touches only this cache line: the default frame size,
 	// the strategy, whether its fork path needs the slow prologue
-	// (Cilk Plus / TBB / goroutine baselines), whether any sink consumes
-	// KindFork (so the untraced path skips the Emit call entirely), and
-	// whether Scratch blocks may be recycled through the slot arena.
+	// (Cilk Plus / TBB / goroutine baselines), and whether any sink
+	// consumes KindFork (so the untraced path skips the Emit call
+	// entirely).
 	frameBytes int
 	strategy   Strategy
 	slowFork   bool
 	wantsFork  bool
-	arenaOK    bool
 
 	scratch [8]uint64 // Cilk Plus spawn-prologue simulation target
 }
@@ -225,10 +224,24 @@ func (w *W) Alloca(n int) (release func()) {
 func (w *W) Join(f *Frame) {
 	if f.count.Load() != 0 {
 		switch w.strategy {
+		// For the inline-stealing joins the eligibility closure captures f
+		// and escapes into rt.steal, so it heap-allocates at creation; the
+		// local drain runs first so the common join — children still in our
+		// own deque — never materializes it and stays on the 0-alloc path.
 		case StrategyTBB:
-			w.joinInlineStealing(f, func(t task) bool { return t.depth > f.depth })
+			if !w.joinDrainLocal(f) {
+				w.joinInlineStealing(f, func(t task) bool { return t.depth > f.depth })
+			}
 		case StrategyLeapfrog:
-			w.joinInlineStealing(f, func(t task) bool { return t.frame.isDescendantOf(f) })
+			// The walk bound is the candidate's own trusted depth: a live
+			// candidate's ancestry is at most t.depth links, and a stale
+			// one (whose frame may be arena-recycled mid-walk) is rejected
+			// by the deque CAS whatever the walk answers.
+			if !w.joinDrainLocal(f) {
+				w.joinInlineStealing(f, func(t task) bool {
+					return t.frame.isDescendantWithin(f, t.depth)
+				})
+			}
 		case StrategyGoroutine:
 			w.joinBlocking(f)
 		default:
@@ -268,19 +281,30 @@ func (w *W) joinSuspending(f *Frame) {
 // one stack (no suspension, no extra stacks) at the cost of the time bound
 // (§3, Sukha's lower bound).
 func (w *W) joinInlineStealing(f *Frame, eligible func(task) bool) {
-	for f.count.Load() != 0 {
-		if t, ok := w.slot.deque.Pop(); ok {
-			if w.claimTask(t) {
-				w.runInline(t)
-			}
-			continue
-		}
-		if t, ok := w.rt.randomSteal(w, eligible); ok {
+	for !w.joinDrainLocal(f) {
+		if t, ok := w.rt.steal(w, eligible); ok {
 			w.stats.restrictedSteals.Add(1)
 			w.runInline(t)
 			continue
 		}
 		runtime.Gosched()
+	}
+}
+
+// joinDrainLocal pops and runs local work while children of f remain,
+// reporting true when the join count drained without needing to steal.
+func (w *W) joinDrainLocal(f *Frame) bool {
+	for {
+		if f.count.Load() == 0 {
+			return true
+		}
+		t, ok := w.slot.deque.Pop()
+		if !ok {
+			return false
+		}
+		if w.claimTask(t) {
+			w.runInline(t)
+		}
 	}
 }
 

@@ -11,13 +11,15 @@ import (
 // may be down to its last element, using the same CAS.
 //
 // Entries are boxed: Push allocates one node per element and the node is
-// immutable from publication until the GC reclaims it. That is what makes
-// the implementation safe (and race-detector-clean) without hazard pointers
-// or per-slot atomics over arbitrary T: a thief holding a stale ring or a
-// stale slot pointer only ever reads immutable memory, and the CAS on top
-// decides ownership. The cost is one small allocation per Push, which is
-// why the zero-allocation THE Deque remains the runtime's default and
-// ChaseLev is the opt-in, steal-heavy configuration.
+// immutable from publication until the owner reclaims it. That is what
+// makes the implementation safe (and race-detector-clean) without hazard
+// pointers or per-slot atomics over arbitrary T: a thief holding a stale
+// ring or a stale slot pointer only ever reads immutable memory, and the
+// CAS on top decides ownership. With recycling disabled the cost is one
+// small allocation per Push; EnableRecycling removes it from the
+// steady-state fork/join path at the price of forbidding StealIf (see
+// below), which is why the runtime enables it only for strategies that
+// steal unconditionally.
 //
 // Ring slots consumed by thieves are not cleared (a thief must never write
 // a slot the owner may be concurrently reusing), so up to one ring's worth
@@ -32,7 +34,33 @@ type ChaseLev[T any] struct {
 	bottom atomic.Int64 // next index to push; owner-managed
 
 	buf atomic.Pointer[clRing[T]]
+
+	// Owner-side node recycling (EnableRecycling). free holds nodes whose
+	// entries the owner popped; Push reuses them instead of allocating.
+	// Plain owner-only memory.
+	recycle bool
+	free    []*T
 }
+
+// clFreeCap bounds the owner's recycled-node hoard.
+const clFreeCap = 64
+
+// EnableRecycling turns on owner-side node reuse: nodes whose entries the
+// owner pops are kept on a free list and rewritten by later Pushes, making
+// the steady-state fork/join path allocation-free. Must be called before
+// first use, and the deque must then never be offered to StealIf.
+//
+// Safety: recycling is compatible with Steal/StealBatch but NOT StealIf.
+// A thief's Steal dereferences its node only after winning the CAS on top,
+// and a winning CAS pins the node: the owner can no longer pop (and hence
+// recycle) that index, and the SC ordering of (top, bottom, ring, slot)
+// loads rules out reading a ring older than the one the index was pushed
+// into. StealIf, by contrast, inspects the candidate *before* its CAS; a
+// concurrent owner pop of that index may recycle the node mid-inspection
+// and a later Push would rewrite it under the predicate — a torn read. The
+// runtime therefore enables recycling only for strategies whose thieves
+// never use StealIf (i.e. not TBB depth-restriction or leapfrogging).
+func (d *ChaseLev[T]) EnableRecycling() { d.recycle = true }
 
 // clRing is a power-of-two circular buffer of boxed entries. Old rings stay
 // valid after growth — the GC reclaims them once the last stale thief drops
@@ -58,10 +86,28 @@ func (d *ChaseLev[T]) Push(v T) {
 	if ring == nil || b-t >= ring.size() {
 		ring = d.growRing(t, b)
 	}
-	p := new(T)
+	var p *T
+	if n := len(d.free); n > 0 {
+		p = d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+	} else {
+		p = new(T)
+	}
 	*p = v
 	ring.slot(b).Store(p)
 	d.bottom.Store(b + 1)
+}
+
+// reclaim retires a node the owner just popped. Only reachable when the
+// owner holds exclusive ownership of the entry (a non-last pop, or a won
+// last-element CAS), which is what makes rewriting the node in a later
+// Push safe against every thief dereference path except StealIf — see
+// EnableRecycling.
+func (d *ChaseLev[T]) reclaim(p *T) {
+	if d.recycle && len(d.free) < clFreeCap {
+		d.free = append(d.free, p)
+	}
 }
 
 // growRing replaces the ring with one twice as large. Only the owner grows,
@@ -106,11 +152,15 @@ func (d *ChaseLev[T]) Pop() (T, bool) {
 			return zero, false
 		}
 		d.bottom.Store(b + 1)
-		slot.Store(nil) // release for GC; owner is the slot's only writer
-		return *p, true
+		slot.Store(nil) // release; owner is the slot's only writer
+		v := *p
+		d.reclaim(p)
+		return v, true
 	}
 	slot.Store(nil)
-	return *p, true
+	v := *p
+	d.reclaim(p)
+	return v, true
 }
 
 // Steal removes from the top (any goroutine). Lock-free: one CAS decides.
@@ -147,6 +197,9 @@ func (d *ChaseLev[T]) Steal() (T, bool) {
 // indistinguishable from the entry being taken by someone else, which is
 // the same observable behaviour as the THE implementation.
 func (d *ChaseLev[T]) StealIf(pred func(T) bool) (T, bool) {
+	if d.recycle {
+		panic("deque: StealIf on a recycling ChaseLev (see EnableRecycling)")
+	}
 	var zero T
 	t := d.top.Load()
 	b := d.bottom.Load()
@@ -165,6 +218,24 @@ func (d *ChaseLev[T]) StealIf(pred func(T) bool) (T, bool) {
 		return zero, false
 	}
 	return *p, true
+}
+
+// StealBatch steals up to len(dst) entries from the top into dst and
+// reports how many were taken. Lock-free: a loop of single-entry CASes
+// (Chase-Lev's top CAS admits no multi-entry variant), stopping at the
+// first lost race, so a batch is cheap when uncontended and degrades to
+// one entry under contention. Any worker may call it.
+func (d *ChaseLev[T]) StealBatch(dst []T) int {
+	m := 0
+	for m < len(dst) {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		dst[m] = v
+		m++
+	}
+	return m
 }
 
 // Len reports a racy size snapshot.

@@ -192,7 +192,203 @@ func FuzzDequeConcurrent(f *testing.F) {
 		// (no loss), and the duplicate-extraction overhead stays bounded
 		// by the owner-side traffic rather than growing without limit.
 		relaxedConcurrentLane(t, ops)
+
+		// Batch lanes: the extraction mix the StealHalf policy produces —
+		// a StealBatch thief racing single-steal/StealIf thieves.
+		batchConcurrentLane(t, ops)
 	})
+}
+
+// batchConcurrentLane replays the owner schedule with a StealBatch thief
+// racing a single-steal thief. The linearizable kinds must stay
+// exactly-once across batch boundaries (the THE ring's one-slot-slack
+// claim-then-read and the Chase-Lev per-entry CAS loop are both under
+// test); the relaxed deque gets its own lane below.
+func batchConcurrentLane(t *testing.T, ops []byte) {
+	for _, impl := range []struct {
+		name string
+		d    interface {
+			Push(int)
+			Pop() (int, bool)
+			Steal() (int, bool)
+			StealBatch([]int) int
+		}
+	}{
+		{"THE", &Deque[int]{}},
+		{"ChaseLev", &ChaseLev[int]{}},
+	} {
+		pushed := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				pushed++
+			}
+		}
+		seen := make([]int32, pushed)
+		record := func(v int) {
+			if v < 0 || v >= pushed {
+				t.Errorf("%s: batch lane consumed out-of-range value %d", impl.name, v)
+				return
+			}
+			atomic.AddInt32(&seen[v], 1)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(2)
+		go func() { // batch thief
+			defer wg.Done()
+			var buf [4]int
+			for {
+				if n := impl.d.StealBatch(buf[:]); n > 0 {
+					for i := 0; i < n; i++ {
+						record(buf[i])
+					}
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+		go func() { // single-steal thief
+			defer wg.Done()
+			for {
+				if v, ok := impl.d.Steal(); ok {
+					record(v)
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+		next := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				impl.d.Push(next)
+				next++
+			} else if v, ok := impl.d.Pop(); ok {
+				record(v)
+			}
+		}
+		for {
+			v, ok := impl.d.Pop()
+			if !ok {
+				break
+			}
+			record(v)
+		}
+		close(stop)
+		wg.Wait()
+		for v, n := range seen {
+			if n != 1 {
+				t.Fatalf("%s: batch lane value %d consumed %d times, want 1", impl.name, v, n)
+			}
+		}
+	}
+	relaxedBatchLane(t, ops)
+}
+
+// relaxedBatchLane races a StealBatch thief against a StealIf thief over
+// the relaxed deque's published window: the batch claims a window prefix
+// with one anchor CAS while StealIf inspects nodes pre-CAS (safe — relaxed
+// nodes are immutable and never recycled), and the claim layer must still
+// filter consumption down to exactly-once with bounded duplicates.
+func relaxedBatchLane(t *testing.T, ops []byte) {
+	d := &Relaxed[relItem]{}
+	pushed := 0
+	for _, op := range ops {
+		if op%2 == 0 {
+			pushed++
+		}
+	}
+	seen := make([]int32, pushed)
+	var dups int32
+	record := func(it relItem) {
+		if !it.take() {
+			atomic.AddInt32(&dups, 1)
+			return
+		}
+		if it.v < 0 || it.v >= pushed {
+			t.Errorf("Relaxed: batch lane claimed out-of-range value %d", it.v)
+			return
+		}
+		atomic.AddInt32(&seen[it.v], 1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() { // StealHalf-style batch thief
+		defer wg.Done()
+		var buf [4]relItem
+		for {
+			if n := d.StealBatch(buf[:]); n > 0 {
+				for i := 0; i < n; i++ {
+					record(buf[i])
+				}
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	go func() { // StealIf thief with a value predicate, plain Steal fallback
+		defer wg.Done()
+		for {
+			if v, ok := d.StealIf(func(it relItem) bool { return it.v%2 == 0 }); ok {
+				record(v)
+				continue
+			}
+			if v, ok := d.Steal(); ok {
+				record(v)
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	next := 0
+	for _, op := range ops {
+		if op%2 == 0 {
+			d.Push(relItem{v: next})
+			next++
+		} else if v, ok := d.Pop(); ok {
+			record(v)
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("Relaxed: batch lane value %d claimed %d times, want 1", v, n)
+		}
+	}
+	if bound := int32(relPublishGoal * (pushed + 1)); dups > bound {
+		t.Fatalf("Relaxed: batch lane %d duplicate extractions over %d pushes, bound %d", dups, pushed, bound)
+	}
 }
 
 // relaxedConcurrentLane replays the fuzz-chosen owner schedule on the

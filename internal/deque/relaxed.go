@@ -64,6 +64,21 @@ type Relaxed[T Stampable[T]] struct {
 	// against a window the owner has since rebuilt — cannot succeed.
 	anchor atomic.Uint64
 	ring   [relRingCap]atomic.Pointer[relNode[T]]
+
+	// Publication backoff (owner-only plain memory). A publication is
+	// "wasted" when the owner itself reclaims the node via Pop: the box was
+	// allocated for thieves that never came. wasted counts consecutive
+	// wasted publications since the last observed thief consumption; once
+	// it reaches relWasteCap the owner stops feeding the window until
+	// thieves consume again (detected through the stolenSeen watermark) or
+	// the per-push decay in Push releases one probe publication. This is
+	// what keeps an undisturbed deep fork/join — the nqueens publication
+	// burst — from boxing a node per oscillation.
+	pubs       int64 // total publications
+	reclaims   int64 // window entries the owner reclaimed via Pop
+	wasted     int64 // consecutive owner-reclaimed publications
+	stolenSeen int64 // thief-consumption watermark: pubs - reclaims - size
+	sincePub   int64 // pushes since the last backoff decay
 }
 
 // relNode boxes one published task with its execution claim. Published
@@ -121,6 +136,18 @@ const (
 	// Only an empty window (thieves starving) overrides the reserve.
 	relPrivateReserve = 8
 
+	// relWasteCap bounds consecutive wasted publications: after this many
+	// owner-reclaimed boxes with no thief consumption in between, topUp
+	// stops publishing until a steal is observed or the decay below fires.
+	relWasteCap = 4
+	// relWasteDecay is the backoff release interval, in pushes: every this
+	// many pushes one unit of wasted credit is returned, so a worker that
+	// went quiet for thieves (or never had any) still probes the window
+	// with a publication once per interval and parallelism can restart
+	// after a serial phase. Stray steady-state boxing is thus bounded by
+	// one allocation per relWasteDecay forks.
+	relWasteDecay = 256
+
 	relHeadBits = 24 // published head, mod 2^24
 	relSizeBits = 16 // window size; <= relPublishGoal in practice
 	relTagBits  = 24 // publication tag, mod 2^24
@@ -158,6 +185,13 @@ func (d *Relaxed[T]) Push(t T) {
 	}
 	d.priv[d.privTail&int64(len(d.priv)-1)] = t
 	d.privTail++
+	d.sincePub++
+	if d.sincePub >= relWasteDecay {
+		d.sincePub = 0
+		if d.wasted > 0 {
+			d.wasted-- // release one probe publication (see relWasteDecay)
+		}
+	}
 	if d.privTail-d.privHead >= 2 {
 		d.topUp()
 	}
@@ -194,6 +228,17 @@ func (d *Relaxed[T]) growPriv() {
 // over an unpublished slot.
 func (d *Relaxed[T]) topUp() {
 	head, size, tag := unpackAnchor(d.anchor.Load())
+	// Thief-consumption watermark: every publication is eventually either
+	// reclaimed by the owner or consumed by a thief, so pubs - reclaims -
+	// size only grows past its recorded high-water mark when thieves have
+	// taken something. Observing that resets the waste backoff.
+	if stolen := d.pubs - d.reclaims - int64(size); stolen > d.stolenSeen {
+		d.stolenSeen = stolen
+		d.wasted = 0
+	}
+	if d.wasted >= relWasteCap {
+		return // publications are going to waste; starve the window instead
+	}
 	for {
 		surplus := d.privTail - d.privHead
 		starving := size == 0 && surplus >= 2
@@ -209,6 +254,7 @@ func (d *Relaxed[T]) topUp() {
 		d.ring[(head+size)&(relRingCap-1)].Store(n)
 		size++
 		tag++
+		d.pubs++
 		d.anchor.Store(packAnchor(head, size, tag))
 	}
 }
@@ -234,6 +280,8 @@ func (d *Relaxed[T]) Pop() (T, bool) {
 	}
 	n := d.ring[(head+size-1)&(relRingCap-1)].Load()
 	d.anchor.Store(packAnchor(head, size-1, tag))
+	d.reclaims++
+	d.wasted++ // this box never fed a thief; charge the publication backoff
 	return n.val, true
 }
 
@@ -286,6 +334,46 @@ func (d *Relaxed[T]) StealIf(pred func(T) bool) (T, bool) {
 		return zero, false
 	}
 	return n.val, true
+}
+
+// StealBatch steals up to len(dst) of the oldest published entries into
+// dst and reports how many were taken — the steal-half extraction for the
+// published window. Unlike the other deque kinds it is a true multi-entry
+// extraction: the nodes are read first (published nodes are immutable
+// forever, so pre-CAS reads are always of stable memory) and a single CAS
+// advances the anchor over all of them at once. As with Steal, a winning
+// CAS does not guarantee the tasks are unclaimed — the owner's blind store
+// may have resurrected extracted indexes for another extractor — so the
+// caller must win each value's Claim before executing it.
+func (d *Relaxed[T]) StealBatch(dst []T) int {
+	var zero T
+	a := d.anchor.Load()
+	head, size, tag := unpackAnchor(a)
+	if size == 0 || len(dst) == 0 {
+		return 0
+	}
+	k := uint64(len(dst))
+	if k > size {
+		k = size
+	}
+	m := uint64(0)
+	for ; m < k; m++ {
+		n := d.ring[(head+m)&(relRingCap-1)].Load()
+		if n == nil {
+			break // window not yet populated at this index
+		}
+		dst[m] = n.val
+	}
+	if m == 0 {
+		return 0
+	}
+	if !d.anchor.CompareAndSwap(a, packAnchor(head+m, size-m, tag)) {
+		for i := uint64(0); i < m; i++ {
+			dst[i] = zero // drop the copies; their claims were never won
+		}
+		return 0
+	}
+	return int(m)
 }
 
 // Len reports the published window size — the only portion thieves can

@@ -40,6 +40,16 @@ type CostModel struct {
 	TaskStart    int64 // dequeue + frame setup when a task begins (default 8)
 	StealProbe   int64 // one failed steal probe (default 30)
 	Steal        int64 // successful steal handshake (default 120)
+	// Cache-complexity surcharges on a successful steal, after the
+	// parallel cache-complexity analyses of work stealing (Gu et al.,
+	// arXiv 2111.04994): a stolen task starts with a cold cache, so it
+	// re-faults the working set its victim already paid for — unless the
+	// thief keeps returning to the same victim, whose lines it has been
+	// pulling all along. The ring-distance term models topology (adjacent
+	// slots share L2/L3; far slots cross the interconnect).
+	StealCold int64 // steal from a new victim: cold-cache refill (default 400)
+	StealWarm int64 // repeat steal from the last victim (default 80)
+	NearHop   int64 // per ring-distance hop between thief and victim (default 6)
 	Suspend      int64 // suspension bookkeeping (default 150)
 	Resume       int64 // resumption bookkeeping (default 150)
 	MadviseBase  int64 // madvise(DONTNEED) syscall (default 800)
@@ -62,6 +72,9 @@ func (c CostModel) withDefaults() CostModel {
 	def(&c.TaskStart, 8)
 	def(&c.StealProbe, 30)
 	def(&c.Steal, 120)
+	def(&c.StealCold, 400)
+	def(&c.StealWarm, 80)
+	def(&c.NearHop, 6)
 	def(&c.Suspend, 150)
 	def(&c.Resume, 150)
 	def(&c.MadviseBase, 800)
@@ -93,6 +106,11 @@ type Config struct {
 	StackLimit int           // bounded pool; 0 = strategy default
 	Cost       CostModel
 	Seed       uint64
+	// StealPolicy selects the victim-choice discipline of internal/core's
+	// pluggable steal policies: random (default, the pre-policy baseline
+	// sweep), last-victim affinity, near-victim ring expansion, or
+	// steal-half batching. Modelled in the help-first engine only.
+	StealPolicy core.StealPolicy
 	// WorkFirst selects the continuation-stealing engine — the paper's
 	// actual Fibril discipline, where thieves steal the parent's
 	// continuation and victims perform the unmaps. The default help-first
@@ -134,6 +152,8 @@ type Result struct {
 	Tasks         int64 // task instances that began execution
 	Forks         int64
 	Steals        int64
+	WarmSteals    int64 // raids whose victim repeated (charged StealWarm, not StealCold)
+	ColdSteals    int64 // raids on a new victim (charged StealCold); StealHalf loot extras ride a raid and count as neither
 	StealAttempts int64
 	Suspends      int64
 	Resumes       int64
@@ -175,6 +195,9 @@ func Run(cfg Config, tree invoke.Task) Result {
 	}
 	if cfg.Strategy == core.StrategyCilkM && !cfg.WorkFirst {
 		panic("sim: the cilkm strategy is modelled in the work-first engine only")
+	}
+	if cfg.WorkFirst && cfg.StealPolicy != core.StealRandom {
+		panic("sim: steal policies are modelled in the help-first engine only")
 	}
 	s := newSim(cfg)
 	if cfg.WorkFirst {

@@ -80,7 +80,8 @@ func TestBlumofeLeisersonTimeBound(t *testing.T) {
 	for _, name := range []string{"fib", "nqueens", "quicksort", "heat"} {
 		s := bench.Get(name)
 		m := invoke.Analyze(s.Tree(s.Default))
-		perLevel := cost.TaskStart + cost.Fork + cost.Steal + cost.Suspend +
+		perLevel := cost.TaskStart + cost.Fork + cost.Steal + cost.StealCold +
+			36*cost.NearHop + cost.Suspend +
 			cost.MadviseBase + cost.Resume + 4*cost.PageFault
 		work := m.Work + m.Tasks*cost.TaskStart + m.Forks*cost.Fork
 		span := m.Span + int64(m.CallDepth)*perLevel

@@ -47,6 +47,12 @@ func WithDeque(k DequeKind) Option {
 	return func(c *Config) { c.Deque = k }
 }
 
+// WithStealPolicy selects the thief victim-selection discipline. Default:
+// StealRandom, the paper's uniformly random sweep.
+func WithStealPolicy(p StealPolicy) Option {
+	return func(c *Config) { c.StealPolicy = p }
+}
+
 // WithPool selects the stack-pool implementation. Default: PoolSharded,
 // the lock-free fast path.
 func WithPool(k PoolKind) Option {
