@@ -9,9 +9,12 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
+
+	"fibril"
 )
 
 var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api_golden.txt from the current sources")
@@ -132,4 +135,54 @@ func apiSurface(t *testing.T) string {
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n") + "\n"
+}
+
+// TestJobSurfaceExposesNoInternalTypes pins the Job handle to publicly
+// nameable types: every parameter and result in Job's method set must
+// either live outside this module's internal/ tree or be re-exported by
+// package fibril as an alias. Aliases preserve type identity, so the
+// allowlist is checked by reflect.Type equality — a method that leaks an
+// un-aliased internal type (one a caller could receive but never write
+// down) fails here.
+func TestJobSurfaceExposesNoInternalTypes(t *testing.T) {
+	aliased := map[reflect.Type]bool{
+		reflect.TypeOf(fibril.Job{}):   true,
+		reflect.TypeOf(fibril.Stats{}): true,
+	}
+	seen := map[reflect.Type]bool{}
+	var check func(typ reflect.Type, where string)
+	check = func(typ reflect.Type, where string) {
+		if seen[typ] {
+			return
+		}
+		seen[typ] = true
+		switch typ.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Array, reflect.Chan:
+			check(typ.Elem(), where)
+			return
+		case reflect.Map:
+			check(typ.Key(), where)
+			check(typ.Elem(), where)
+			return
+		case reflect.Func:
+			for i := 0; i < typ.NumIn(); i++ {
+				check(typ.In(i), where)
+			}
+			for i := 0; i < typ.NumOut(); i++ {
+				check(typ.Out(i), where)
+			}
+			return
+		}
+		if pp := typ.PkgPath(); strings.Contains(pp, "/internal/") && !aliased[typ] {
+			t.Errorf("%s exposes internal type %s.%s with no fibril alias", where, pp, typ.Name())
+		}
+	}
+	jt := reflect.TypeOf((*fibril.Job)(nil))
+	if jt.NumMethod() == 0 {
+		t.Fatal("*fibril.Job has no exported methods; Submit handles would be useless")
+	}
+	for i := 0; i < jt.NumMethod(); i++ {
+		m := jt.Method(i)
+		check(m.Type, "Job."+m.Name)
+	}
 }

@@ -10,20 +10,24 @@
 //
 // Experiments: fig3, fig4, table2, table3, table4, mmap-vs-madvise,
 // depth-restricted, stack-pool, stealpath, forkpath, stealpolicy, memory,
-// counters, all. See EXPERIMENTS.md for the mapping to the paper and the
-// expected shapes.
+// serve, counters, all. See EXPERIMENTS.md for the mapping to the paper
+// and the expected shapes.
 //
-// The stealpath, forkpath, stealpolicy, and memory experiments support
-// -json <path>, writing their rows as a JSON array — the machine-readable
-// seeds of the repo's perf trajectory (results/BENCH_stealpath.json,
-// results/BENCH_forkpath.json, results/BENCH_stealpolicy.json, and
-// results/BENCH_memory.json). A committed BENCH_memory.json can be
+// The stealpath, forkpath, stealpolicy, memory, and serve experiments
+// support -json <path>, writing their rows as a JSON array — the
+// machine-readable seeds of the repo's perf trajectory
+// (results/BENCH_stealpath.json, results/BENCH_forkpath.json,
+// results/BENCH_stealpolicy.json, results/BENCH_memory.json, and
+// results/BENCH_serve.json). A committed BENCH_memory.json can be
 // re-validated without re-running via -validate-memory <path>, which fails
 // if the file is malformed, empty, or any row left its space envelope;
 // -validate-stealpolicy <path> does the same for BENCH_stealpolicy.json,
 // asserting the locality gate on the sim rows: every affinity policy must
 // beat random on cold steals and warm fraction while staying within 10% of
-// random's makespan.
+// random's makespan. -validate-serve <path> checks BENCH_serve.json: at
+// least two offered rates with one saturating, request conservation per
+// row, a light-load p99 bound, overload-shed keeping p50 near the light
+// leg's, and every drain leaving no queued tasks or pending reclaims.
 package main
 
 import (
@@ -46,7 +50,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | stealpath | forkpath | stealpolicy | memory | counters | all")
+			"fig3 | fig4 | table2 | table3 | table4 | mmap-vs-madvise | depth-restricted | stack-pool | discipline | predict | stealpath | forkpath | stealpolicy | memory | serve | counters | all")
 		full = flag.Bool("full", false,
 			"use simulation-scale inputs and the paper's worker grid (slow)")
 		reps      = flag.Int("reps", 3, "timing repetitions for real-runtime measurements")
@@ -59,6 +63,8 @@ func main() {
 			"validate an existing BENCH_memory.json at this path and exit (CI smoke)")
 		validateStealPolicy = flag.String("validate-stealpolicy", "",
 			"validate an existing BENCH_stealpolicy.json at this path and exit (CI smoke)")
+		validateServe = flag.String("validate-serve", "",
+			"validate an existing BENCH_serve.json at this path and exit (CI smoke)")
 		serve = flag.String("serve", "",
 			"serve live runtime metrics on this address (e.g. :8080) while experiments run; JSON at /debug/vars under the \"fibril\" key")
 	)
@@ -78,6 +84,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("fibril-bench: %s ok\n", *validateStealPolicy)
+		return
+	}
+	if *validateServe != "" {
+		if err := checkServeJSON(*validateServe); err != nil {
+			fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fibril-bench: %s ok\n", *validateServe)
 		return
 	}
 
@@ -193,6 +207,15 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	case "serve":
+		rows, t := exper.Serve(opts)
+		emit(t)
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "fibril-bench:", err)
+				os.Exit(1)
+			}
+		}
 	case "counters":
 		emit(exper.CountersSmoke(opts))
 	case "all":
@@ -221,6 +244,8 @@ func main() {
 		emit(pt)
 		_, mt := exper.Memory(opts)
 		emit(mt)
+		_, st := exper.Serve(opts)
+		emit(st)
 		emit(exper.CountersSmoke(opts))
 	default:
 		fmt.Fprintf(os.Stderr, "fibril-bench: unknown experiment %q\n", *experiment)
@@ -357,6 +382,92 @@ func checkStealPolicyJSON(path string) error {
 		if float64(r.Makespan) > 1.10*float64(base.Makespan) {
 			return fmt.Errorf("%s: %s/%s makespan %d exceeds 110%% of random's %d",
 				path, r.Benchmark, r.Policy, r.Makespan, base.Makespan)
+		}
+	}
+	return nil
+}
+
+// checkServeJSON validates a BENCH_serve.json: it must parse as a
+// non-empty []exper.ServeRow spanning at least two offered rates, one of
+// them saturating (rate above the calibrated capacity). Per row, the
+// request-conservation law Completed+Shed+Drained == Requests must hold,
+// latency quantiles must be monotone, and the post-Close drain must have
+// left no queued tasks and no pending reclaims. The latency gates encode
+// the serving story: under light load p99 stays under a generous absolute
+// bound, and under saturating overload the shed posture keeps p50 within
+// a small multiple of the light leg's p50 (with an absolute floor, since
+// both are power-of-two bucket bounds) while actually shedding — flat
+// latency for admitted work is what AdmitShed buys.
+func checkServeJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rows []exper.ServeRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return fmt.Errorf("%s: malformed: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%s: no rows", path)
+	}
+	rates := map[float64]bool{}
+	saturating := 0
+	var light, shed *exper.ServeRow
+	for i := range rows {
+		r := &rows[i]
+		if r.Mode == "" || r.Policy == "" || r.Workers <= 0 || r.RatePerSec <= 0 || r.Requests <= 0 {
+			return fmt.Errorf("%s: row %d incomplete: %+v", path, i, *r)
+		}
+		rates[r.RatePerSec] = true
+		if r.Saturating {
+			if r.RatePerSec <= r.CapacityPerSec {
+				return fmt.Errorf("%s: row %d (%s) marked saturating at rate %.0f <= capacity %.0f",
+					path, i, r.Mode, r.RatePerSec, r.CapacityPerSec)
+			}
+			saturating++
+		}
+		if got := r.Completed + r.Shed + r.Drained; got != int64(r.Requests) {
+			return fmt.Errorf("%s: row %d (%s): completed=%d + shed=%d + drained=%d != requests=%d",
+				path, i, r.Mode, r.Completed, r.Shed, r.Drained, r.Requests)
+		}
+		if r.P50us <= 0 || r.P99us < r.P50us || r.P999us < r.P99us {
+			return fmt.Errorf("%s: row %d (%s): quantiles not monotone: p50=%dµs p99=%dµs p999=%dµs",
+				path, i, r.Mode, r.P50us, r.P99us, r.P999us)
+		}
+		if r.DrainQueued != 0 || r.DrainPending != 0 {
+			return fmt.Errorf("%s: row %d (%s): drain left queued=%d pending=%d",
+				path, i, r.Mode, r.DrainQueued, r.DrainPending)
+		}
+		switch r.Mode {
+		case "light":
+			light = r
+		case "overload-shed":
+			shed = r
+		}
+	}
+	if len(rates) < 2 {
+		return fmt.Errorf("%s: only %d distinct offered rates, want >= 2", path, len(rates))
+	}
+	if saturating == 0 {
+		return fmt.Errorf("%s: no saturating row (rate > capacity)", path)
+	}
+	if light == nil {
+		return fmt.Errorf("%s: no light row", path)
+	}
+	if light.P99us > 250_000 {
+		return fmt.Errorf("%s: light-load p99=%dµs exceeds 250ms", path, light.P99us)
+	}
+	if shed != nil {
+		if shed.Shed == 0 {
+			return fmt.Errorf("%s: overload-shed row shed nothing", path)
+		}
+		bound := 8 * light.P50us
+		if bound < 2000 {
+			bound = 2000
+		}
+		if shed.P50us > bound {
+			return fmt.Errorf("%s: overload-shed p50=%dµs not flat vs light p50=%dµs (bound %dµs)",
+				path, shed.P50us, light.P50us, bound)
 		}
 	}
 	return nil

@@ -58,6 +58,25 @@ func TestBenchStealPolicySmokeAndValidate(t *testing.T) {
 	}
 }
 
+func TestBenchServeSmokeAndValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the bench binary; skipped in short mode")
+	}
+	path := filepath.Join(t.TempDir(), "serve.json")
+	out := runCmd(t, ".", "-experiment", "serve", "-json", path)
+	// All three serving modes and the latency columns must appear.
+	for _, want := range []string{"light", "overload-queue", "overload-shed", "p50", "p999", "capacity"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Errorf("serve output lacks %q:\n%s", want, out)
+		}
+	}
+	// Round-trip: the emitted JSON must pass the saturation/latency gate.
+	out = runCmd(t, ".", "-validate-serve", path)
+	if !strings.Contains(out, "ok") {
+		t.Errorf("validate-serve did not report ok:\n%s", out)
+	}
+}
+
 func TestBenchCountersSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("execs the bench binary; skipped in short mode")

@@ -1,0 +1,234 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fibril/internal/core"
+	"fibril/internal/trace"
+)
+
+// The concurrent-jobs differential leg: K generated programs submitted
+// from K goroutines as concurrent Jobs on ONE serving runtime. Where the
+// one-shot legs (run.go) pin down a single computation's invariants, this
+// leg pins down their *composition*: exactly-once execution per program
+// with unrelated roots interleaved on the same deques, panic isolation
+// (an injected panic surfaces only through its own Job.Err), the job
+// conservation laws at K > 1, and quiescence after a graceful Close.
+
+// JobsExec is the observable outcome of one concurrent-submission run.
+type JobsExec struct {
+	Label    string
+	Counts   [][]uint32 // executions per program, per node ID
+	Errs     []error    // Job.Err per program
+	Seqs     []uint64   // Job.Seq (completion rank) per program
+	Stats    core.Stats
+	Queued   int   // tasks left in deques after Close (must be 0)
+	Parked   int   // thieves still parked after Close (must be 0)
+	Pending  int   // live reclaim tickets after Close (must be 0)
+	Backlog  int   // Scratch blocks parked on remote-free lists
+	Inflight int   // InflightJobs after Close (must be 0)
+	JobQueue int   // QueuedJobs after Close (must be 0)
+	CloseErr error // Close's return (must be nil: nothing forced the drain)
+	Trace    TraceSummary
+}
+
+// RunRealJobs starts one runtime, submits every program from its own
+// goroutine — concurrently, mixing panicking and clean roots on the same
+// scheduler — waits for every Job, Closes gracefully, and snapshots
+// everything CheckJobs needs. The stack size and root frame budget are
+// shared across programs (the admission reservation is per-runtime
+// config, not per-job), so the runtime is sized for the largest root.
+func RunRealJobs(ps []*Program, workers int, dk core.DequeKind, strat core.Strategy) JobsExec {
+	e := JobsExec{
+		Label:  fmt.Sprintf("jobs/%v/%v/P=%d/K=%d", strat, dk, workers, len(ps)),
+		Counts: make([][]uint32, len(ps)),
+		Errs:   make([]error, len(ps)),
+		Seqs:   make([]uint64, len(ps)),
+	}
+	frame := 0
+	var seed uint64
+	for _, p := range ps {
+		if p.Root.Frame > frame {
+			frame = p.Root.Frame
+		}
+		seed ^= p.Seed
+	}
+	rec := trace.NewRecorder(traceRecorderCap)
+	rt := core.NewRuntime(core.Config{
+		Workers:    workers,
+		Strategy:   strat,
+		Deque:      dk,
+		FrameBytes: frame,
+		StackPages: harnessStackPages,
+		Seed:       seed ^ 0xC0FFEE,
+		Sink:       rec,
+	})
+	rt.Start()
+	var wg sync.WaitGroup
+	for i, p := range ps {
+		e.Counts[i] = make([]uint32, p.Nodes)
+		body := p.Body(e.Counts[i])
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j := rt.Submit(body)
+			e.Errs[i] = j.Err()
+			e.Seqs[i] = j.Seq()
+		}(i)
+	}
+	wg.Wait()
+	e.CloseErr = rt.Close(context.Background())
+	e.Stats = rt.Stats()
+	e.Trace = SummarizeTrace(rec)
+	e.Queued = rt.QueuedTasks()
+	e.Parked = rt.ParkedThieves()
+	e.Pending = rt.PendingReclaims()
+	e.Backlog = rt.RemoteFreeBacklog()
+	e.Inflight = rt.InflightJobs()
+	e.JobQueue = rt.QueuedJobs()
+	return e
+}
+
+// CheckJobs runs every oracle that applies to a concurrent-submission run.
+// Program seeds appear in each violation message (the collector's own seed
+// slot is meaningless for a multi-program leg).
+func CheckJobs(ps []*Program, e JobsExec) error {
+	v := &violations{label: e.Label}
+	st := e.Stats
+
+	// Per-program execution and panic isolation.
+	panics := 0
+	for i, p := range ps {
+		if p.Panics > 0 {
+			panics++
+			var tp *core.TaskPanic
+			switch err := e.Errs[i]; {
+			case err == nil:
+				v.failf("program %d (seed %#x) injects a panic but Job.Err is nil", i, p.Seed)
+			case !errors.As(err, &tp):
+				v.failf("program %d (seed %#x): Job.Err is %T (%v), want *core.TaskPanic", i, p.Seed, err, err)
+			default:
+				ip, ok := tp.Value.(InjectedPanic)
+				switch {
+				case !ok:
+					v.failf("program %d (seed %#x): TaskPanic wraps %T (%v), want check.InjectedPanic",
+						i, p.Seed, tp.Value, tp.Value)
+				case ip.Seed != p.Seed:
+					v.failf("program %d (seed %#x): Job.Err carries a sibling's panic (seed %#x) — isolation broken",
+						i, p.Seed, ip.Seed)
+				case ip.Node < 0 || ip.Node >= p.Nodes:
+					v.failf("program %d (seed %#x): injected panic names unknown node %d", i, p.Seed, ip.Node)
+				case e.Counts[i][ip.Node] != 1:
+					v.failf("program %d (seed %#x): panicking node n%d executed %d times",
+						i, p.Seed, ip.Node, e.Counts[i][ip.Node])
+				}
+			}
+			for id, c := range e.Counts[i] {
+				if c > 1 {
+					v.failf("program %d (seed %#x): node n%d executed %d times under panic, want ≤1",
+						i, p.Seed, id, c)
+				}
+			}
+			continue
+		}
+		if err := e.Errs[i]; err != nil {
+			v.failf("program %d (seed %#x): clean root's Job.Err=%v — a sibling's failure leaked in", i, p.Seed, err)
+		}
+		for id, c := range e.Counts[i] {
+			if c != 1 {
+				v.failf("program %d (seed %#x): node n%d executed %d times, want exactly once", i, p.Seed, id, c)
+			}
+		}
+	}
+
+	// Completion ranks: every Job completed, so the Seqs must be a
+	// permutation of 1..K (order itself is scheduling-dependent).
+	seen := make(map[uint64]int, len(e.Seqs))
+	for i, s := range e.Seqs {
+		if s < 1 || s > uint64(len(ps)) {
+			v.failf("program %d: completion rank %d outside [1,%d]", i, s, len(ps))
+		} else if prev, dup := seen[s]; dup {
+			v.failf("programs %d and %d share completion rank %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+
+	// Quiescence after a graceful Close.
+	if e.CloseErr != nil {
+		v.failf("graceful Close returned %v, want nil", e.CloseErr)
+	}
+	if e.Queued != 0 {
+		v.failf("%d tasks left in deques after Close", e.Queued)
+	}
+	if e.Parked != 0 {
+		v.failf("%d thieves still parked after Close", e.Parked)
+	}
+	if e.Pending != 0 {
+		v.failf("%d reclaim tickets still live after Close", e.Pending)
+	}
+	if e.Inflight != 0 {
+		v.failf("InflightJobs=%d after Close, want 0", e.Inflight)
+	}
+	if e.JobQueue != 0 {
+		v.failf("QueuedJobs=%d after Close, want 0", e.JobQueue)
+	}
+
+	// Job conservation at K > 1: every submission was admitted and
+	// completed (a graceful Close sheds and drains nothing).
+	k := int64(len(ps))
+	if st.JobsSubmitted != k || st.JobsAdmitted != k || st.JobsCompleted != k {
+		v.failf("JobsSubmitted=%d JobsAdmitted=%d JobsCompleted=%d, want %d each",
+			st.JobsSubmitted, st.JobsAdmitted, st.JobsCompleted, k)
+	}
+	if st.JobsShed != 0 || st.JobsDrained != 0 {
+		v.failf("graceful run shed %d / drained %d jobs, want 0/0", st.JobsShed, st.JobsDrained)
+	}
+
+	// Flow laws that survive mixed panics. The structural fork/call counts
+	// relax to bounds when a panic unwound a parent mid-body (its later
+	// fork sites never ran) or lazy edges chose at run time.
+	if st.Suspends != st.Resumes {
+		v.failf("Suspends=%d != Resumes=%d", st.Suspends, st.Resumes)
+	}
+	if st.Steals > st.Forks {
+		v.failf("Steals=%d > Forks=%d (stole something never forked)", st.Steals, st.Forks)
+	}
+	var forks, calls, lazy int64
+	for _, p := range ps {
+		forks += int64(p.Forks)
+		calls += int64(p.Calls)
+		lazy += int64(p.LazyEdges)
+	}
+	if st.Forks > forks+lazy {
+		v.failf("Stats.Forks=%d > total fork edges %d (+%d lazy)", st.Forks, forks, lazy)
+	}
+	if panics == 0 {
+		if st.Forks+st.Calls != forks+calls+lazy {
+			v.failf("Stats.Forks=%d + Stats.Calls=%d != fork edges %d + call edges %d + lazy %d",
+				st.Forks, st.Calls, forks, calls, lazy)
+		}
+	}
+
+	// Arena conservation: the balance law relaxes to an inequality when a
+	// panic unwind skipped release sites; the backlog law always holds.
+	if st.ArenaReleases > st.ArenaAcquires {
+		v.failf("ArenaReleases=%d > ArenaAcquires=%d", st.ArenaReleases, st.ArenaAcquires)
+	}
+	if panics == 0 && st.ArenaAcquires != st.ArenaReleases {
+		v.failf("ArenaAcquires=%d != ArenaReleases=%d on a panic-free run", st.ArenaAcquires, st.ArenaReleases)
+	}
+	if got := st.RemoteFrees - st.RemoteDrains; got != int64(e.Backlog) {
+		v.failf("RemoteFrees-RemoteDrains=%d != RemoteFreeBacklog=%d (a hand-back was lost)", got, e.Backlog)
+	}
+
+	// Trace reconciliation. Unlike the one-shot panic leg, the jobs leg
+	// reconciles unconditionally: a root's panic is captured inside exec
+	// and surfaces through its own Job, never unwinding the thief loop, so
+	// every event/counter pairing stays intact even with panicking roots
+	// in the mix.
+	v.reconcileTrace(e.Trace, st)
+	return v.err()
+}

@@ -1,0 +1,79 @@
+package check
+
+import (
+	"testing"
+
+	"fibril/internal/core"
+)
+
+// jobMix assembles k generated programs for a concurrent-submission leg,
+// with every third slot holding a panic-injected program so panicking and
+// clean roots share one scheduler.
+func jobMix(t *testing.T, k int) []*Program {
+	t.Helper()
+	ps := make([]*Program, 0, k)
+	seed := uint64(700)
+	for len(ps) < k {
+		params := Params{}
+		wantPanic := len(ps)%3 == 0
+		if wantPanic {
+			params.PanicPct = 50
+		}
+		p := Generate(seed, params)
+		seed++
+		if wantPanic != (p.Panics > 0) {
+			continue
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// TestDifferentialConcurrentJobs is the concurrent-submission leg of the
+// harness: ≥8 generated programs — mixed panicking and clean — submitted
+// from one goroutine each as concurrent Jobs on ONE serving runtime,
+// across strategies, deque kinds and worker counts, with every CheckJobs
+// oracle (per-program exactly-once, panic isolation, job conservation,
+// quiescence, trace reconciliation) asserted per leg.
+func TestDifferentialConcurrentJobs(t *testing.T) {
+	k := 10
+	if testing.Short() {
+		k = 8
+	}
+	ps := jobMix(t, k)
+	legs := []struct {
+		workers int
+		dk      core.DequeKind
+		strat   core.Strategy
+	}{
+		{2, core.DequeTHE, core.StrategyFibril},
+		{4, core.DequeChaseLev, core.StrategyFibril},
+		{4, core.DequeRelaxed, core.StrategyFibril},
+		{1, core.DequeTHE, core.StrategyFibril},
+		{4, core.DequeTHE, core.StrategyTBB},
+		{2, core.DequeTHE, core.StrategyGoroutine},
+	}
+	if testing.Short() {
+		legs = legs[:2]
+	}
+	for _, leg := range legs {
+		e := RunRealJobs(ps, leg.workers, leg.dk, leg.strat)
+		if err := CheckJobs(ps, e); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestConcurrentJobsCleanOnly runs the tighter panic-free laws (exact
+// fork/call conservation, arena balance) on an all-clean program set.
+func TestConcurrentJobsCleanOnly(t *testing.T) {
+	k := 8
+	ps := make([]*Program, 0, k)
+	for seed := uint64(800); len(ps) < k; seed++ {
+		ps = append(ps, Generate(seed, Params{}))
+	}
+	e := RunRealJobs(ps, 4, core.DequeTHE, core.StrategyFibril)
+	if err := CheckJobs(ps, e); err != nil {
+		t.Error(err)
+	}
+}

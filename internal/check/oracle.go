@@ -103,6 +103,19 @@ func CheckReal(p *Program, m invoke.Metrics, e RealExec) error {
 		v.failf("%d reclaim tickets still live after Run", e.Pending)
 	}
 
+	// Serving-lifecycle conservation: a one-shot Run is exactly one Submit
+	// on the Start/Submit/Close machinery, so the job counters must read
+	// one submission, one admission, one completion, nothing shed or
+	// drained — the K=1 instance of
+	// JobsSubmitted == JobsShed + JobsDrained + JobsCompleted.
+	if st.JobsSubmitted != 1 || st.JobsAdmitted != 1 || st.JobsCompleted != 1 {
+		v.failf("one Run reads JobsSubmitted=%d JobsAdmitted=%d JobsCompleted=%d, want 1/1/1",
+			st.JobsSubmitted, st.JobsAdmitted, st.JobsCompleted)
+	}
+	if st.JobsShed != 0 || st.JobsDrained != 0 {
+		v.failf("one Run shed %d / drained %d jobs, want 0/0", st.JobsShed, st.JobsDrained)
+	}
+
 	// Structural conservation: the scheduler executed exactly the tree's
 	// edges. (Forks excludes the root: it is Run's argument, not a fork.)
 	// A lazy edge resolves at run time into either a fork or a call, so
@@ -378,6 +391,16 @@ func CheckRealPanic(p *Program, e RealExec) error {
 		v.failf("%d reclaim tickets still live after panicked Run", e.Pending)
 	}
 	st := e.Stats
+	// A panicking root still completes its Job — the panic is captured and
+	// re-raised by Run, not leaked mid-flight — so the K=1 job conservation
+	// law is identical to the clean-run one.
+	if st.JobsSubmitted != 1 || st.JobsAdmitted != 1 || st.JobsCompleted != 1 {
+		v.failf("panicked Run reads JobsSubmitted=%d JobsAdmitted=%d JobsCompleted=%d, want 1/1/1",
+			st.JobsSubmitted, st.JobsAdmitted, st.JobsCompleted)
+	}
+	if st.JobsShed != 0 || st.JobsDrained != 0 {
+		v.failf("panicked Run shed %d / drained %d jobs, want 0/0", st.JobsShed, st.JobsDrained)
+	}
 	if st.Suspends != st.Resumes {
 		v.failf("Suspends=%d != Resumes=%d after panic", st.Suspends, st.Resumes)
 	}

@@ -61,6 +61,12 @@ func (v *violations) reconcileTrace(ts TraceSummary, st core.Stats) {
 	base := st.Steals - st.RestrictedSteals
 	eq(trace.KindTaskStart, count(trace.KindTaskStart), base, "Steals-RestrictedSteals")
 	eq(trace.KindTaskEnd, count(trace.KindTaskEnd), base, "Steals-RestrictedSteals")
+	// Job lifecycle: every admitted root emits exactly one start and one
+	// done event (roots never emit task start/end — that is what keeps the
+	// base-steal equality above alive under concurrent submission), and
+	// admitted == completed at quiescence.
+	eq(trace.KindJobStart, count(trace.KindJobStart), st.JobsCompleted, "JobsCompleted")
+	eq(trace.KindJobDone, count(trace.KindJobDone), st.JobsCompleted, "JobsCompleted")
 	if ts.UnmappedPages != st.UnmappedPages {
 		v.failf("trace unmap args sum=%d != Stats.UnmappedPages=%d", ts.UnmappedPages, st.UnmappedPages)
 	}

@@ -1,0 +1,529 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fibril/internal/trace"
+)
+
+// This file is the serving lifecycle: a Runtime can be started once
+// (Start), accept many concurrent root computations (Submit → *Job), and
+// drain gracefully (Close). The one-shot Run/RunErr entry points are thin
+// wrappers over this machinery — see runtime.go — so batch and serving
+// execution share a single code path.
+//
+// A submitted root is injected into the scheduler through a dedicated FIFO
+// (rootQueue) rather than a worker deque: idle thieves take roots only
+// after a full steal sweep fails, so in-flight computations keep their
+// workers until there is genuinely idle capacity, and restricted
+// (TBB/leapfrog) inline steals can never pick up an unrelated root.
+// Admission control in front of the queue bounds the number of live roots
+// (Config.MaxInflight) and the per-tenant stack-page budget
+// (Config.TenantQuotaPages), shedding or queueing per Config.Admission.
+
+// Submission errors, surfaced through Job.Err.
+var (
+	// ErrShed marks a Job rejected at admission under AdmitShed (or any
+	// submission that arrived while the Runtime was closing).
+	ErrShed = errors.New("core: job shed by admission control")
+	// ErrDrained marks a queued Job abandoned by a Close whose context
+	// expired before the job could be admitted.
+	ErrDrained = errors.New("core: job drained at close")
+	// ErrClosed marks a submission that arrived during or after Close.
+	ErrClosed = errors.New("core: runtime is closed to new jobs")
+)
+
+// AdmissionPolicy selects what Submit does with a job that does not fit —
+// MaxInflight reached, or the tenant's page budget exhausted.
+type AdmissionPolicy int
+
+const (
+	// AdmitQueue (the default) parks the job in an admission queue; it is
+	// admitted FIFO (per tenant-fit) as running jobs complete. Queued jobs
+	// consume no scheduler resources.
+	AdmitQueue AdmissionPolicy = iota
+	// AdmitShed rejects the job immediately with ErrShed — the overload
+	// posture that keeps latency of admitted work flat at the cost of
+	// availability.
+	AdmitShed
+)
+
+// String returns the policy's display name as used in the experiments.
+func (p AdmissionPolicy) String() string {
+	switch p {
+	case AdmitQueue:
+		return "queue"
+	case AdmitShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("AdmissionPolicy(%d)", int(p))
+	}
+}
+
+// AdmissionPolicies lists every policy, in presentation order.
+func AdmissionPolicies() []AdmissionPolicy {
+	return []AdmissionPolicy{AdmitQueue, AdmitShed}
+}
+
+// Job is one submitted root computation on a serving Runtime. A Job is
+// created by Submit and completes exactly once: executed to completion
+// (possibly with a captured panic), shed at admission, or drained by a
+// forced Close. All methods are safe from any goroutine.
+type Job struct {
+	id        uint64
+	tenant    string
+	root      func(*W)
+	submitted time.Time
+
+	done chan struct{}
+	// The fields below are written exactly once, before done is closed,
+	// and read only after <-done.
+	tp    *TaskPanic
+	err   error
+	stats Stats
+	seq   uint64
+}
+
+// ID returns the job's submission-order identifier (1-based; assigned by
+// Submit, so it orders jobs by arrival).
+func (j *Job) ID() uint64 { return j.id }
+
+// Tenant returns the tenant the job was submitted under ("" for the
+// default tenant).
+func (j *Job) Tenant() string { return j.tenant }
+
+// Done returns a channel closed when the job completes (including shed and
+// drained jobs), for select-based composition.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes and returns the runtime's
+// accumulated Stats snapshot taken at that completion. Unlike the old
+// one-shot Run it never panics; inspect Err for a captured root panic.
+func (j *Job) Wait() Stats {
+	<-j.done
+	return j.stats
+}
+
+// Err blocks until the job completes and reports how it ended: nil for a
+// clean run, the *TaskPanic that escaped the root (errors.As-compatible
+// with the panic value it wraps), or ErrShed/ErrDrained/ErrClosed for jobs
+// admission never ran.
+func (j *Job) Err() error {
+	<-j.done
+	return j.err
+}
+
+// Seq blocks until the job completes and returns its completion rank
+// (1-based): jobs are numbered in the order they finish, which under
+// concurrent submission is generally not submission order.
+func (j *Job) Seq() uint64 {
+	<-j.done
+	return j.seq
+}
+
+// lifeState is the Runtime's serving lifecycle state, guarded by
+// admitState.mu.
+type lifeState int
+
+const (
+	lifeIdle    lifeState = iota // no workers up; Submit panics
+	lifeServing                  // Start ran; Submit accepted
+	lifeClosing                  // Close running; Submit rejected
+)
+
+// admitState is the admission-control half of the serving lifecycle: the
+// lifecycle state, the inflight count, the per-tenant page reservations,
+// and the not-yet-admitted queue. One mutex guards it all — admission is
+// per-request work, not per-fork work, so a lock here never touches the
+// scheduler hot path.
+type admitState struct {
+	mu        sync.Mutex
+	state     lifeState
+	inflight  int // admitted, not yet completed
+	max       int // Config.MaxInflight (0 = unlimited)
+	policy    AdmissionPolicy
+	quota     int64 // Config.TenantQuotaPages (0 = unlimited)
+	reserve   int64 // pages one inflight job reserves (Config.StackPages)
+	tenants   map[string]int64
+	queue     []*Job // submitted, awaiting admission (AdmitQueue)
+	drained   chan struct{}
+	drainDone bool
+}
+
+// fitsLocked reports whether one more job from tenant fits the inflight
+// bound and the tenant's page budget.
+func (a *admitState) fitsLocked(tenant string) bool {
+	if a.max > 0 && a.inflight >= a.max {
+		return false
+	}
+	if a.quota > 0 && a.tenants[tenant]+a.reserve > a.quota {
+		return false
+	}
+	return true
+}
+
+// admitLocked reserves capacity for j.
+func (a *admitState) admitLocked(j *Job) {
+	a.inflight++
+	if a.quota > 0 {
+		if a.tenants == nil {
+			a.tenants = make(map[string]int64)
+		}
+		a.tenants[j.tenant] += a.reserve
+	}
+}
+
+// releaseLocked returns j's reservation.
+func (a *admitState) releaseLocked(j *Job) {
+	a.inflight--
+	if a.quota > 0 {
+		if r := a.tenants[j.tenant] - a.reserve; r > 0 {
+			a.tenants[j.tenant] = r
+		} else {
+			delete(a.tenants, j.tenant)
+		}
+	}
+}
+
+// promoteLocked admits every queued job that now fits, preserving FIFO
+// order within the queue but skipping past tenant-blocked entries so one
+// over-quota tenant cannot head-of-line-block the others.
+func (a *admitState) promoteLocked() []*Job {
+	if len(a.queue) == 0 {
+		return nil
+	}
+	var admitted, rest []*Job
+	for _, j := range a.queue {
+		if a.fitsLocked(j.tenant) {
+			a.admitLocked(j)
+			admitted = append(admitted, j)
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	if len(admitted) == 0 {
+		return nil
+	}
+	a.queue = rest
+	return admitted
+}
+
+// checkDrainedLocked closes the drain gate once a closing runtime has no
+// inflight or queued jobs left.
+func (a *admitState) checkDrainedLocked() {
+	if a.state == lifeClosing && a.inflight == 0 && len(a.queue) == 0 &&
+		a.drained != nil && !a.drainDone {
+		a.drainDone = true
+		close(a.drained)
+	}
+}
+
+// rootQueue is the FIFO of admitted roots awaiting a worker. It is
+// deliberately separate from looseQueue: loose tasks are already-claimed,
+// already-counted *steals*, while roots are new computations that must not
+// perturb the steal counters or the trace-reconciliation laws.
+type rootQueue struct {
+	mu sync.Mutex
+	n  atomic.Int64
+	js []*Job
+}
+
+// push appends j. Callers wake the park lot afterwards, mirroring Fork's
+// publish-then-wake Dekker pair, so a parked thief cannot miss the root.
+func (q *rootQueue) push(j *Job) {
+	q.mu.Lock()
+	q.js = append(q.js, j)
+	q.n.Store(int64(len(q.js)))
+	q.mu.Unlock()
+}
+
+// pop removes the oldest root. The n.Load fast path keeps the empty case
+// (every failed steal sweep ends here) at one atomic read.
+func (q *rootQueue) pop() (*Job, bool) {
+	if q.n.Load() == 0 {
+		return nil, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.js) == 0 {
+		return nil, false
+	}
+	j := q.js[0]
+	q.js[0] = nil
+	q.js = q.js[1:]
+	q.n.Store(int64(len(q.js)))
+	return j, true
+}
+
+// len reports the queue length (racy snapshot, exact at quiescence).
+func (q *rootQueue) len() int { return int(q.n.Load()) }
+
+// Start transitions the runtime from idle to serving: the park lot opens
+// and every worker slot spins up a persistent thief goroutine that parks
+// when idle. Workers stay up — across any number of Submits — until Close.
+// Start panics if the runtime is already serving or closing; use Run for
+// self-managing one-shot execution.
+func (rt *Runtime) Start() {
+	if !rt.ensureStarted() {
+		panic("core: Start on an already-started Runtime")
+	}
+}
+
+// ensureStarted starts the runtime if it is idle, reporting whether this
+// call performed the start (false when already serving). It panics during
+// Close: the caller raced a shutdown.
+func (rt *Runtime) ensureStarted() bool {
+	a := &rt.admit
+	a.mu.Lock()
+	switch a.state {
+	case lifeServing:
+		a.mu.Unlock()
+		return false
+	case lifeClosing:
+		a.mu.Unlock()
+		panic("core: Start while the Runtime is closing")
+	}
+	a.state = lifeServing
+	a.mu.Unlock()
+
+	rt.done.Store(false)
+	rt.park.open()
+	if rt.cfg.Strategy == StrategyGoroutine {
+		return true // slotless: every root gets its own goroutine at dispatch
+	}
+	for _, slot := range rt.workers {
+		rt.goroutineWG.Add(1)
+		go rt.thiefLoop(slot)
+	}
+	return true
+}
+
+// Submit injects root as an independent top-level computation under the
+// default tenant. See SubmitTenant.
+func (rt *Runtime) Submit(root func(*W)) *Job {
+	return rt.SubmitTenant("", root)
+}
+
+// SubmitTenant injects root as an independent top-level computation
+// accounted to tenant, returning a Job handle immediately — Submit never
+// blocks. The root is picked up by the first worker whose steal sweep
+// comes up empty, so running computations are not preempted. If admission
+// control rejects the job (AdmitShed, or a Close in progress) the returned
+// Job is already complete with Err set; under AdmitQueue it waits in the
+// admission queue. Submit panics on an idle runtime — call Start first (or
+// use Run, which manages the lifecycle itself).
+func (rt *Runtime) SubmitTenant(tenant string, root func(*W)) *Job {
+	j := &Job{
+		id:        uint64(rt.jobsSubmitted.Add(1)),
+		tenant:    tenant,
+		root:      root,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	a := &rt.admit
+	a.mu.Lock()
+	switch a.state {
+	case lifeIdle:
+		a.mu.Unlock()
+		panic("core: Submit on an idle Runtime (call Start first)")
+	case lifeClosing:
+		a.mu.Unlock()
+		rt.jobsShed.Add(1)
+		rt.finishRejected(j, ErrClosed)
+		return j
+	}
+	if !a.fitsLocked(tenant) {
+		if a.policy == AdmitShed {
+			a.mu.Unlock()
+			rt.jobsShed.Add(1)
+			rt.finishRejected(j, ErrShed)
+			return j
+		}
+		a.queue = append(a.queue, j)
+		a.mu.Unlock()
+		return j
+	}
+	a.admitLocked(j)
+	a.mu.Unlock()
+	rt.dispatch(j)
+	return j
+}
+
+// dispatch hands an admitted job to the scheduler: push on the root FIFO
+// and wake a parked thief (publish-then-wake, the same lost-wakeup-free
+// Dekker pair Fork uses). The goroutine baseline is slotless, so each root
+// gets a goroutine with its own pooled stack instead.
+func (rt *Runtime) dispatch(j *Job) {
+	rt.jobsAdmitted.Add(1)
+	if rt.cfg.Strategy == StrategyGoroutine {
+		rt.goroutineWG.Add(1)
+		go func() {
+			defer rt.goroutineWG.Done()
+			st := rt.takeStack(-1)
+			w := rt.newW(nil, st, rt.shard(-1))
+			w.runRoot(task{fn: j.root, bytes: int32(rt.cfg.FrameBytes), job: j})
+			rt.pool.Put(-1, st)
+		}()
+		return
+	}
+	rt.subq.push(j)
+	rt.park.wake()
+}
+
+// nextRoot claims the oldest submitted root as a task, if any. Called by
+// thieves only after a full steal sweep failed: stolen work (continuing an
+// in-flight computation, draining its suspended stacks) takes priority
+// over opening a new root, which keeps the live-root set — and with it the
+// space bound's P multiplier — as small as the load allows.
+func (rt *Runtime) nextRoot() (task, bool) {
+	j, ok := rt.subq.pop()
+	if !ok {
+		return task{}, false
+	}
+	return task{fn: j.root, bytes: int32(rt.cfg.FrameBytes), job: j}, true
+}
+
+// completeJob finishes j after its root returned (or panicked): stamp the
+// completion rank, surface a captured panic as the job error, emit the
+// request-latency event, release the admission reservation (promoting
+// queued jobs that now fit), and only then publish the stats snapshot and
+// close the done channel.
+func (rt *Runtime) completeJob(slot int, j *Job) {
+	if j.tp != nil {
+		j.err = j.tp
+	}
+	j.seq = uint64(rt.jobSeq.Add(1))
+	rt.jobsCompleted.Add(1)
+	if rt.trc.Wants(trace.KindJobDone) {
+		rt.trc.Emit(slot, trace.KindJobDone, int64(j.id), time.Since(j.submitted))
+	}
+
+	a := &rt.admit
+	a.mu.Lock()
+	a.releaseLocked(j)
+	promoted := a.promoteLocked()
+	a.checkDrainedLocked()
+	a.mu.Unlock()
+	for _, q := range promoted {
+		rt.dispatch(q)
+	}
+
+	j.stats = rt.Stats()
+	close(j.done)
+}
+
+// finishRejected completes a job that admission never ran (shed, drained,
+// or submitted while closing).
+func (rt *Runtime) finishRejected(j *Job, err error) {
+	j.err = err
+	j.seq = uint64(rt.jobSeq.Add(1))
+	j.stats = rt.Stats()
+	close(j.done)
+}
+
+// Close drains the runtime and returns it to idle: no new submissions are
+// accepted, every admitted job (running or queued for a worker) runs to
+// completion, and — while ctx lasts — jobs still waiting in the admission
+// queue are admitted as capacity frees up. If ctx expires first, the
+// not-yet-admitted queue is abandoned (each such Job completes with
+// ErrDrained, counted in Stats.JobsDrained) and Close still waits for the
+// admitted jobs, which always finish. Teardown then parks nothing: thieves
+// unwind, stacks return to the pool, reclaim tickets flush, the trace
+// flushes, and the runtime may be started (or Run) again. A nil ctx means
+// wait indefinitely. Close returns ctx's error if the drain was forced,
+// nil otherwise; calling Close on an idle runtime is a no-op. Close must
+// not be called concurrently with itself.
+func (rt *Runtime) Close(ctx context.Context) error {
+	a := &rt.admit
+	a.mu.Lock()
+	switch a.state {
+	case lifeIdle:
+		a.mu.Unlock()
+		return nil
+	case lifeClosing:
+		a.mu.Unlock()
+		panic("core: concurrent Close calls on one Runtime")
+	}
+	a.state = lifeClosing
+	var drained chan struct{}
+	if a.inflight > 0 || len(a.queue) > 0 {
+		drained = make(chan struct{})
+		a.drained = drained
+		a.drainDone = false
+	}
+	a.mu.Unlock()
+
+	var err error
+	if drained != nil {
+		if ctx == nil {
+			<-drained
+		} else {
+			select {
+			case <-drained:
+			case <-ctx.Done():
+				err = ctx.Err()
+				rt.abandonQueued()
+				<-drained
+			}
+		}
+	}
+
+	// Quiesced: no admitted work remains anywhere. Tear down exactly as
+	// the old per-Run epilogue did — wake every parked thief so it
+	// observes done, release any thief blocked in a bounded pool's Take,
+	// wait for every worker goroutine to unwind, flush reclaim tickets the
+	// resumes did not cancel, then reopen the pool for the next Start.
+	rt.done.Store(true)
+	rt.park.close()
+	rt.pool.Close()
+	rt.goroutineWG.Wait()
+	rt.reclaim.drainAll(0, rt.shard(0))
+	rt.trc.Flush()
+	rt.pool.Reopen()
+
+	a.mu.Lock()
+	a.state = lifeIdle
+	a.drained = nil
+	a.mu.Unlock()
+	return err
+}
+
+// abandonQueued fails every job still waiting in the admission queue with
+// ErrDrained — the forced half of Close. Admitted jobs are untouched;
+// they always run to completion, so JobsAdmitted == JobsCompleted holds
+// at quiescence even after a forced drain.
+func (rt *Runtime) abandonQueued() {
+	a := &rt.admit
+	a.mu.Lock()
+	dropped := a.queue
+	a.queue = nil
+	a.checkDrainedLocked()
+	a.mu.Unlock()
+	for _, j := range dropped {
+		rt.jobsDrained.Add(1)
+		rt.finishRejected(j, ErrDrained)
+	}
+}
+
+// InflightJobs returns the number of admitted, not-yet-completed Jobs
+// (racy snapshot; 0 at quiescence).
+func (rt *Runtime) InflightJobs() int {
+	rt.admit.mu.Lock()
+	defer rt.admit.mu.Unlock()
+	return rt.admit.inflight
+}
+
+// QueuedJobs returns the number of Jobs waiting for admission plus
+// admitted roots not yet picked up by a worker (racy snapshot; 0 at
+// quiescence).
+func (rt *Runtime) QueuedJobs() int {
+	rt.admit.mu.Lock()
+	n := len(rt.admit.queue)
+	rt.admit.mu.Unlock()
+	return n + rt.subq.len()
+}

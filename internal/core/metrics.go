@@ -21,6 +21,12 @@ type Gauges struct {
 	// StacksInUse is the number of simulated stacks currently checked out
 	// of the pool.
 	StacksInUse int
+	// InflightJobs is the number of admitted, not-yet-completed Jobs on
+	// the serving lifecycle.
+	InflightJobs int
+	// QueuedJobs is the number of Jobs awaiting admission plus admitted
+	// roots not yet picked up by a worker.
+	QueuedJobs int
 }
 
 // Metrics is the live introspection snapshot returned by
@@ -50,6 +56,8 @@ func (rt *Runtime) Snapshot() Metrics {
 			ParkedThieves:   rt.ParkedThieves(),
 			PendingReclaims: rt.PendingReclaims(),
 			StacksInUse:     rt.pool.InUse(),
+			InflightJobs:    rt.InflightJobs(),
+			QueuedJobs:      rt.QueuedJobs(),
 		},
 	}
 	if rt.metrics != nil {

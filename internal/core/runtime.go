@@ -42,6 +42,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -283,16 +285,32 @@ type Config struct {
 	// ceiling first drains the deferred-unmap queue, then reclaims the
 	// resident residue of free pooled stacks. 0 disables the ceiling.
 	MaxResidentPages int64
+	// MaxInflight > 0 bounds the number of admitted-but-incomplete Jobs a
+	// serving runtime carries at once; Submit calls beyond it queue or
+	// shed per Admission. 0 means unlimited.
+	MaxInflight int
+	// Admission selects the overload posture when a Submit does not fit
+	// MaxInflight or a tenant quota: AdmitQueue (default) parks it in an
+	// admission queue, AdmitShed rejects it with ErrShed.
+	Admission AdmissionPolicy
+	// TenantQuotaPages > 0 gives every tenant a budget of simulated stack
+	// pages, layered under MaxResidentPages: each inflight Job reserves
+	// StackPages (one worker stack's worth) against its tenant's budget at
+	// admission, so one tenant's burst queues or sheds before it can crowd
+	// the shared page ceiling. 0 disables per-tenant quotas.
+	TenantQuotaPages int64
 	// Sink, when non-nil, receives the scheduler event stream (forks,
-	// steals, suspensions, resumptions, unmaps, reclaims) through
-	// per-worker ring buffers: a trace.Recorder for post-mortem
+	// steals, suspensions, resumptions, unmaps, reclaims, job lifecycle)
+	// through per-worker ring buffers: a trace.Recorder for post-mortem
 	// inspection, a trace.ChromeSink for Perfetto-loadable streaming, a
 	// trace.MetricsSink for live histograms, or any custom Sink. A nil
 	// sink costs one pointer test per event site.
 	Sink trace.Sink
-	// Tracer is the legacy buffered-recorder knob, kept so existing
-	// callers work unchanged: when Sink is nil and Tracer is not, the
-	// recorder is attached as the sink. Prefer Sink.
+	// Tracer is the legacy buffered-recorder knob from the pre-Sink API,
+	// kept so existing callers work unchanged: when Sink is nil and Tracer
+	// is not, the recorder is attached as the sink.
+	//
+	// Deprecated: set Sink (a *trace.Recorder is a Sink).
 	Tracer *trace.Recorder
 }
 
@@ -349,7 +367,8 @@ type task struct {
 	fn    func(*W)
 	argfn func(*W, unsafe.Pointer)
 	arg   unsafe.Pointer
-	frame *Frame // parent frame to notify on completion
+	frame *Frame // parent frame to notify on completion; nil for a root
+	job   *Job   // the submitted Job this task is the root of (roots only)
 	bytes int32  // simulated activation-frame size
 	depth int32  // invocation-tree depth of the child
 	heavy *tbbTask
@@ -402,11 +421,20 @@ type Runtime struct {
 	// awaiting a worker; see looseQueue.
 	loose looseQueue
 
-	goroutineWG sync.WaitGroup // live thief goroutines (for Wait)
+	goroutineWG sync.WaitGroup // live worker goroutines (for Wait)
 
-	// rootPanic holds a *TaskPanic that escaped the root task; Run
-	// re-raises it after an orderly shutdown.
-	rootPanic atomic.Pointer[TaskPanic]
+	// Serving lifecycle (job.go): admission control + the FIFO of admitted
+	// roots awaiting a worker, plus runtime-wide job counters. The
+	// counters are plain atomics rather than shard members because
+	// submission is per-request work, never per-fork work.
+	admit         admitState
+	subq          rootQueue
+	jobsSubmitted atomic.Int64
+	jobsAdmitted  atomic.Int64
+	jobsShed      atomic.Int64
+	jobsDrained   atomic.Int64
+	jobsCompleted atomic.Int64
+	jobSeq        atomic.Int64
 
 	// stats holds one counter shard per worker slot plus a spare shard for
 	// slotless workers; see counterShard for the de-contention rationale.
@@ -439,6 +467,12 @@ func NewRuntime(cfg Config) *Runtime {
 		rt.metrics = ms
 	}
 	rt.reclaim = newReclaimer(rt)
+	rt.admit = admitState{
+		max:     cfg.MaxInflight,
+		policy:  cfg.Admission,
+		quota:   cfg.TenantQuotaPages,
+		reserve: int64(cfg.StackPages),
+	}
 	rt.workers = make([]*worker, cfg.Workers)
 	for i := range rt.workers {
 		rt.workers[i] = &worker{
@@ -480,63 +514,45 @@ func (rt *Runtime) newW(slot *worker, st *stack.Stack, sh *counterShard) *W {
 // AddressSpace exposes the simulated address space for inspection.
 func (rt *Runtime) AddressSpace() *vm.AddressSpace { return rt.as }
 
-// Run executes root to completion on the runtime and returns the collected
-// statistics. Run may be called repeatedly; counters accumulate across
-// calls on the same Runtime.
+// Run executes root to completion and returns the runtime's accumulated
+// statistics — the one-shot batch entry point, now a thin wrapper over the
+// serving lifecycle: Start (if the runtime is idle) + Submit + Wait +
+// Close, one code path with Submit. Run may be called repeatedly; counters
+// accumulate across calls on the same Runtime. Called on a runtime the
+// caller already Started, Run leaves the workers up (it only Closes what
+// it Started). A panic that escaped the root is re-raised as a *TaskPanic
+// after the orderly shutdown, exactly as before the Submit redesign.
 func (rt *Runtime) Run(root func(*W)) Stats {
-	if rt.cfg.Strategy == StrategyGoroutine {
-		return rt.runGoroutine(root)
+	stats, err := rt.RunErr(root)
+	if err != nil {
+		var tp *TaskPanic
+		if errors.As(err, &tp) {
+			panic(tp) // the root task panicked: surface it from Run
+		}
+		panic(err) // shed/drained: Run's caller raced admission or Close
 	}
-	rt.done.Store(false)
-	rt.park.open()
-
-	// Slot 0 hosts the root; the other P-1 slots start as thieves.
-	for i := 1; i < len(rt.workers); i++ {
-		rt.goroutineWG.Add(1)
-		go rt.thiefLoop(rt.workers[i])
-	}
-
-	w := rt.newW(rt.workers[0], rt.takeStack(0), rt.shard(0))
-	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
-	// The root has no parent frame; its completion ends the computation.
-	rt.done.Store(true)
-
-	// Wake every parked thief so it observes done, release any thief
-	// blocked in a bounded pool's Take, wait for every thief goroutine to
-	// unwind, flush any reclaim tickets the resumes did not cancel, then
-	// reopen the pool for the next Run.
-	rt.park.close()
-	rt.pool.Put(0, w.stack)
-	rt.pool.Close()
-	rt.goroutineWG.Wait()
-	rt.reclaim.drainAll(0, rt.shard(0))
-	rt.trc.Flush()
-	rt.pool.Reopen()
-	if tp := rt.rootPanic.Swap(nil); tp != nil {
-		panic(tp) // the root task panicked: surface it from Run
-	}
-	return rt.Stats()
+	return stats
 }
 
 // RunErr executes root like Run but returns a panic that escaped the root
-// task as an error instead of re-panicking: the long-lived-server shape,
-// where a worker pool outlives any one computation and a failed request
-// must not unwind the process. The returned error is the *TaskPanic Run
-// would have thrown (errors.As-compatible with the panic value it wraps);
-// the accompanying Stats snapshot is valid either way, since RunErr only
-// intercepts the re-raise after Run's orderly shutdown. Panics from the
-// runtime itself (stack overflow, pool misuse) still propagate.
-func (rt *Runtime) RunErr(root func(*W)) (stats Stats, err error) {
-	defer func() {
-		if v := recover(); v != nil {
-			tp, ok := v.(*TaskPanic)
-			if !ok {
-				panic(v)
-			}
-			stats, err = rt.Stats(), tp
-		}
-	}()
-	return rt.Run(root), nil
+// task as an error instead of re-panicking — for callers that treat a
+// failed computation as a value. For the long-lived-server shape — many
+// concurrent computations on one worker pool, each failing independently —
+// use Start/Submit and check Job.Err per submission; RunErr is the
+// single-root convenience over exactly that path. The returned error is
+// the *TaskPanic Run would have thrown (errors.As-compatible with the
+// panic value it wraps); the accompanying Stats snapshot is valid either
+// way, taken after the run's orderly shutdown. Panics from the runtime
+// itself (stack overflow, pool misuse) still propagate out of the worker
+// machinery.
+func (rt *Runtime) RunErr(root func(*W)) (Stats, error) {
+	started := rt.ensureStarted()
+	j := rt.Submit(root)
+	j.Wait()
+	if started {
+		rt.Close(context.Background())
+	}
+	return rt.Stats(), j.Err()
 }
 
 // Thief backoff ladder: a thief that fails a full sweep retries
@@ -550,10 +566,13 @@ const (
 
 // thiefLoop is the body of a worker-slot goroutine that starts with no
 // work: take a stack from the pool (blocking if the pool is bounded and
-// exhausted — the Cilk Plus stall), then steal until the computation ends
-// or the slot is handed to a resumed parent. Failed sweeps escalate
-// through the backoff ladder instead of spinning in Gosched, so idle
-// thieves stop burning CPU while work is scarce.
+// exhausted — the Cilk Plus stall), then steal until the runtime closes
+// or the slot is handed to a resumed parent. A sweep looks for stolen
+// work first and for a submitted root only when the whole steal sweep
+// fails, so new roots open only on genuinely idle capacity. Failed sweeps
+// escalate through the backoff ladder instead of spinning in Gosched, so
+// idle thieves stop burning CPU while work is scarce — a serving runtime
+// between requests is P parked goroutines.
 func (rt *Runtime) thiefLoop(slot *worker) {
 	defer rt.goroutineWG.Done()
 	st := rt.takeStack(slot.id)
@@ -561,9 +580,15 @@ func (rt *Runtime) thiefLoop(slot *worker) {
 		return // pool closed: the computation is over
 	}
 	w := rt.newW(slot, st, rt.shard(slot.id))
+	sweep := func() (task, bool) {
+		if t, ok := rt.steal(w, nil); ok {
+			return t, true
+		}
+		return rt.nextRoot()
+	}
 	fails := 0
 	for !rt.done.Load() {
-		t, ok := rt.steal(w, nil)
+		t, ok := sweep()
 		if !ok {
 			fails++
 			switch {
@@ -572,13 +597,11 @@ func (rt *Runtime) thiefLoop(slot *worker) {
 			case fails <= spinSweeps+yieldSweeps:
 				runtime.Gosched()
 			default:
-				// park re-sweeps after registering as parked, so a
-				// Fork racing this sleep either is seen by that sweep
-				// or sees the registration and broadcasts (no lost
-				// wakeup — see parkLot).
-				t, ok = rt.park.park(func() (task, bool) {
-					return rt.steal(w, nil)
-				})
+				// park re-sweeps after registering as parked, so a Fork
+				// or Submit racing this sleep either is seen by that
+				// sweep or sees the registration and broadcasts (no
+				// lost wakeup — see parkLot).
+				t, ok = rt.park.park(sweep)
 				fails = 0
 			}
 			if !ok {
@@ -596,21 +619,6 @@ func (rt *Runtime) thiefLoop(slot *worker) {
 		}
 	}
 	rt.pool.Put(slot.id, w.stack)
-}
-
-// runGoroutine executes the computation with the Go-native baseline: no
-// slots, no deques; Fork is a `go` statement, every task gets its own
-// pooled stack, Join waits on a counter.
-func (rt *Runtime) runGoroutine(root func(*W)) Stats {
-	st := rt.takeStack(-1)
-	w := rt.newW(nil, st, rt.shard(-1))
-	w.runTask(task{fn: root, bytes: int32(rt.cfg.FrameBytes), depth: 0})
-	rt.pool.Put(-1, st)
-	rt.trc.Flush()
-	if tp := rt.rootPanic.Swap(nil); tp != nil {
-		panic(tp)
-	}
-	return rt.Stats()
 }
 
 // takeStack takes a stack from the pool for the given worker slot,

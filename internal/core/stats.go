@@ -94,6 +94,18 @@ type Stats struct {
 	RemoteDrains  int64 // blocks adopted from a remote-free list
 	ArenaDrops    int64 // releases dropped to the GC (both hoards full)
 
+	// Job-submission counters (the Start/Submit serving lifecycle; Run
+	// counts too — it is one Submit). Every submitted Job resolves exactly
+	// one way, so at quiescence
+	// JobsSubmitted == JobsShed + JobsDrained + JobsCompleted and
+	// JobsAdmitted == JobsCompleted (admitted jobs always run, even under
+	// a forced drain; only never-admitted queue entries can be drained).
+	JobsSubmitted int64 // Submit calls
+	JobsAdmitted  int64 // jobs handed to the scheduler
+	JobsShed      int64 // jobs rejected at admission (AdmitShed or closing)
+	JobsDrained   int64 // queued jobs abandoned by a forced Close
+	JobsCompleted int64 // admitted jobs that ran to completion
+
 	StacksCreated int   // stacks ever mapped (Table 4 "# of stacks")
 	MaxStacksUsed int   // stacks simultaneously checked out
 	PoolStalls    int64 // thieves that waited on a bounded pool (Cilk Plus)
@@ -106,6 +118,11 @@ func (rt *Runtime) Stats() Stats {
 	s := Stats{
 		Strategy:      rt.cfg.Strategy,
 		Workers:       rt.cfg.Workers,
+		JobsSubmitted: rt.jobsSubmitted.Load(),
+		JobsAdmitted:  rt.jobsAdmitted.Load(),
+		JobsShed:      rt.jobsShed.Load(),
+		JobsDrained:   rt.jobsDrained.Load(),
+		JobsCompleted: rt.jobsCompleted.Load(),
 		StacksCreated: rt.pool.Created(),
 		MaxStacksUsed: rt.pool.MaxInUse(),
 		PoolStalls:    rt.pool.Stalls(),

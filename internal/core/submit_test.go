@@ -1,0 +1,443 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fibril/internal/trace"
+)
+
+// submitFib is a small fork-join request body: enough structure to
+// exercise stealing and suspension, small enough to run thousands of
+// times per test.
+func submitFib(n int) func(*W) {
+	return func(w *W) {
+		var out int64
+		fibSubmit(w, n, &out)
+	}
+}
+
+func fibSubmit(w *W, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var fr Frame
+	w.Init(&fr)
+	var a, b int64
+	w.Fork(&fr, func(w *W) { fibSubmit(w, n-1, &a) })
+	w.Call(func(w *W) { fibSubmit(w, n-2, &b) })
+	w.Join(&fr)
+	*out = a + b
+}
+
+// TestConcurrentSubmit is the acceptance-criteria race test: >= 8
+// goroutines submitting concurrently to one serving Runtime, a mix of
+// clean and panicking roots, with per-Job panic isolation — a panicking
+// root must fail its own Job and no sibling.
+func TestConcurrentSubmit(t *testing.T) {
+	for _, strat := range []Strategy{StrategyFibril, StrategyTBB, StrategyGoroutine} {
+		t.Run(strat.String(), func(t *testing.T) {
+			rt := NewRuntime(Config{Workers: 4, Strategy: strat})
+			rt.Start()
+			const submitters = 8
+			const perSubmitter = 4
+			type result struct {
+				job    *Job
+				panics bool
+				sub    int
+			}
+			results := make([]result, submitters*perSubmitter)
+			var wg sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for k := 0; k < perSubmitter; k++ {
+						i := s*perSubmitter + k
+						panics := i%3 == 0
+						var j *Job
+						if panics {
+							j = rt.Submit(func(w *W) {
+								var fr Frame
+								w.Init(&fr)
+								w.Fork(&fr, func(w *W) { submitFib(10)(w) })
+								w.Join(&fr)
+								panic(fmt.Sprintf("boom-%d", i))
+							})
+						} else {
+							j = rt.Submit(submitFib(12))
+						}
+						results[i] = result{job: j, panics: panics, sub: s}
+					}
+				}(s)
+			}
+			wg.Wait()
+			seen := map[uint64]bool{}
+			for i, r := range results {
+				err := r.job.Err()
+				if r.panics {
+					var tp *TaskPanic
+					if !errors.As(err, &tp) {
+						t.Fatalf("job %d: want TaskPanic, got %v", i, err)
+					}
+					if want := fmt.Sprintf("boom-%d", i); tp.Value != want {
+						t.Errorf("job %d: panic value %v, want %q — a sibling's panic leaked", i, tp.Value, want)
+					}
+				} else if err != nil {
+					t.Errorf("clean job %d failed: %v — disturbed by a sibling's panic?", i, err)
+				}
+				if seq := r.job.Seq(); seq == 0 || seen[seq] {
+					t.Errorf("job %d: completion seq %d not unique and 1-based", i, seq)
+				} else {
+					seen[seq] = true
+				}
+			}
+			if err := rt.Close(context.Background()); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			st := rt.Stats()
+			n := int64(submitters * perSubmitter)
+			if st.JobsSubmitted != n || st.JobsAdmitted != n || st.JobsCompleted != n {
+				t.Errorf("job conservation: submitted=%d admitted=%d completed=%d, want all %d",
+					st.JobsSubmitted, st.JobsAdmitted, st.JobsCompleted, n)
+			}
+			if st.JobsShed != 0 || st.JobsDrained != 0 {
+				t.Errorf("unexpected shed=%d drained=%d", st.JobsShed, st.JobsDrained)
+			}
+			if q := rt.QueuedTasks(); q != 0 {
+				t.Errorf("QueuedTasks=%d after Close, want 0", q)
+			}
+			if p := rt.PendingReclaims(); p != 0 {
+				t.Errorf("PendingReclaims=%d after Close, want 0", p)
+			}
+			if inf := rt.InflightJobs(); inf != 0 {
+				t.Errorf("InflightJobs=%d after Close, want 0", inf)
+			}
+			if qj := rt.QueuedJobs(); qj != 0 {
+				t.Errorf("QueuedJobs=%d after Close, want 0", qj)
+			}
+		})
+	}
+}
+
+// TestCloseDrainsInflight: Close must wait for running jobs, and the
+// runtime must be reusable (Start/Run again) afterwards.
+func TestCloseDrainsInflight(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2})
+	rt.Start()
+	release := make(chan struct{})
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, rt.Submit(func(w *W) {
+			<-release
+			submitFib(8)(w)
+		}))
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- rt.Close(context.Background()) }()
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned %v with jobs still blocked", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i, j := range jobs {
+		if err := j.Err(); err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+	// Runtime is idle again: one-shot Run must work and accumulate.
+	st := rt.Run(submitFib(10))
+	if st.JobsCompleted != 5 {
+		t.Errorf("JobsCompleted=%d after reuse, want 5", st.JobsCompleted)
+	}
+}
+
+// TestCloseContextAbandonsQueue: a forced drain fails exactly the
+// not-yet-admitted queue with ErrDrained and still completes admitted
+// jobs.
+func TestCloseContextAbandonsQueue(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2, MaxInflight: 1})
+	rt.Start()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker := rt.Submit(func(*W) { close(started); <-release })
+	<-started // the blocker is running, not sitting in the root FIFO
+	var queued []*Job
+	for i := 0; i < 3; i++ {
+		queued = append(queued, rt.Submit(submitFib(5)))
+	}
+	if got := rt.QueuedJobs(); got != 3 {
+		t.Fatalf("QueuedJobs=%d before Close, want 3", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	closed := make(chan error, 1)
+	go func() { closed <- rt.Close(ctx) }()
+	// The forced drain abandons the queue once ctx expires; the blocker is
+	// admitted, so Close keeps waiting for it.
+	for _, j := range queued {
+		if err := j.Err(); !errors.Is(err, ErrDrained) {
+			t.Errorf("queued job: err=%v, want ErrDrained", err)
+		}
+	}
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned %v with the admitted blocker still running", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-closed; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close err=%v, want DeadlineExceeded", err)
+	}
+	if err := blocker.Err(); err != nil {
+		t.Errorf("admitted blocker err=%v, want nil (admitted jobs always run)", err)
+	}
+	st := rt.Stats()
+	if st.JobsDrained != 3 || st.JobsAdmitted != 1 || st.JobsCompleted != 1 {
+		t.Errorf("drained=%d admitted=%d completed=%d, want 3/1/1",
+			st.JobsDrained, st.JobsAdmitted, st.JobsCompleted)
+	}
+}
+
+// TestQuotaShedDeterminism: with MaxInflight pinned by blocked jobs and
+// AdmitShed, over-capacity submissions shed deterministically.
+func TestQuotaShedDeterminism(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4, MaxInflight: 2, Admission: AdmitShed})
+	rt.Start()
+	release := make(chan struct{})
+	b1 := rt.Submit(func(*W) { <-release })
+	b2 := rt.Submit(func(*W) { <-release })
+	var shed []*Job
+	for i := 0; i < 3; i++ {
+		shed = append(shed, rt.Submit(submitFib(5)))
+	}
+	for i, j := range shed {
+		if err := j.Err(); !errors.Is(err, ErrShed) {
+			t.Errorf("submit %d: err=%v, want ErrShed", i, err)
+		}
+	}
+	close(release)
+	if b1.Err() != nil || b2.Err() != nil {
+		t.Errorf("blockers failed: %v %v", b1.Err(), b2.Err())
+	}
+	if err := rt.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := rt.Stats()
+	if st.JobsSubmitted != 5 || st.JobsAdmitted != 2 || st.JobsShed != 3 || st.JobsCompleted != 2 {
+		t.Errorf("submitted=%d admitted=%d shed=%d completed=%d, want 5/2/3/2",
+			st.JobsSubmitted, st.JobsAdmitted, st.JobsShed, st.JobsCompleted)
+	}
+}
+
+// TestTenantQuota: one tenant's page budget sheds its burst without
+// touching another tenant's admissions.
+func TestTenantQuota(t *testing.T) {
+	// Each inflight job reserves StackPages = 16 pages; quota 32 admits
+	// exactly two jobs per tenant at once.
+	rt := NewRuntime(Config{
+		Workers: 2, StackPages: 16, TenantQuotaPages: 32, Admission: AdmitShed,
+	})
+	rt.Start()
+	release := make(chan struct{})
+	hog := func(*W) { <-release }
+	a1, a2 := rt.SubmitTenant("a", hog), rt.SubmitTenant("a", hog)
+	a3 := rt.SubmitTenant("a", hog) // over tenant a's budget: shed
+	b1 := rt.SubmitTenant("b", hog) // tenant b unaffected
+	if err := a3.Err(); !errors.Is(err, ErrShed) {
+		t.Errorf("tenant a's 3rd job: err=%v, want ErrShed", err)
+	}
+	select {
+	case <-b1.Done():
+		t.Errorf("tenant b's job completed early: err=%v", b1.Err())
+	default:
+	}
+	close(release)
+	for i, j := range []*Job{a1, a2, b1} {
+		if err := j.Err(); err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+	if err := rt.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st := rt.Stats(); st.JobsShed != 1 || st.JobsCompleted != 3 {
+		t.Errorf("shed=%d completed=%d, want 1/3", st.JobsShed, st.JobsCompleted)
+	}
+}
+
+// TestQueuePolicyPromotes: under AdmitQueue an over-capacity submission
+// waits and is admitted when capacity frees — nothing is lost.
+func TestQueuePolicyPromotes(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2, MaxInflight: 1})
+	rt.Start()
+	release := make(chan struct{})
+	blocker := rt.Submit(func(*W) { <-release })
+	queued := rt.Submit(submitFib(8))
+	select {
+	case <-queued.Done():
+		t.Fatal("queued job ran while the blocker held MaxInflight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := queued.Err(); err != nil {
+		t.Fatalf("queued job: %v", err)
+	}
+	if err := blocker.Err(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if err := rt.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st := rt.Stats(); st.JobsAdmitted != 2 || st.JobsShed != 0 {
+		t.Errorf("admitted=%d shed=%d, want 2/0", st.JobsAdmitted, st.JobsShed)
+	}
+}
+
+// TestLifecycleMisuse: the state machine rejects out-of-order calls.
+func TestLifecycleMisuse(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 1})
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Submit on idle runtime", func() { rt.Submit(func(*W) {}) })
+	if err := rt.Close(context.Background()); err != nil {
+		t.Fatalf("Close on idle runtime: %v (want nil no-op)", err)
+	}
+	rt.Start()
+	mustPanic("double Start", rt.Start)
+	if err := rt.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// After a full cycle the runtime is idle and restartable.
+	rt.Start()
+	if err := rt.Submit(submitFib(5)).Err(); err != nil {
+		t.Fatalf("Submit after restart: %v", err)
+	}
+	if err := rt.Close(context.Background()); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestSubmitWhileClosing: submissions racing Close complete with ErrClosed
+// instead of hanging or panicking.
+func TestSubmitWhileClosing(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2})
+	rt.Start()
+	release := make(chan struct{})
+	rt.Submit(func(*W) { <-release })
+	closed := make(chan error, 1)
+	go func() { closed <- rt.Close(context.Background()) }()
+	// Wait until Close has flipped the state to closing.
+	deadline := time.Now().Add(time.Second)
+	var late *Job
+	for {
+		late = rt.Submit(func(*W) {})
+		if err := late.Err(); errors.Is(err, ErrClosed) {
+			break
+		} else if err != nil {
+			t.Fatalf("unexpected err: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Close never reached the closing state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st := rt.Stats(); st.JobsShed == 0 {
+		t.Errorf("JobsShed=0, want the ErrClosed submissions counted")
+	}
+}
+
+// TestRunSemanticsPreserved: the Run wrapper still re-raises root panics
+// as *TaskPanic and returns accumulated stats, byte-identical semantics to
+// the pre-Submit API.
+func TestRunSemanticsPreserved(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2})
+	st := rt.Run(submitFib(10))
+	if st.JobsCompleted != 1 || st.JobsSubmitted != 1 {
+		t.Errorf("one Run: submitted=%d completed=%d, want 1/1", st.JobsSubmitted, st.JobsCompleted)
+	}
+	forks := st.Forks
+	if forks == 0 {
+		t.Error("fib(10) forked nothing")
+	}
+	// Counters accumulate across Runs on one Runtime.
+	if st2 := rt.Run(submitFib(10)); st2.Forks != 2*forks {
+		t.Errorf("accumulated Forks=%d, want %d", st2.Forks, 2*forks)
+	}
+	defer func() {
+		v := recover()
+		tp, ok := v.(*TaskPanic)
+		if !ok {
+			t.Fatalf("Run panicked with %T(%v), want *TaskPanic", v, v)
+		}
+		if tp.Value != "root boom" {
+			t.Errorf("panic value %v", tp.Value)
+		}
+	}()
+	rt.Run(func(*W) { panic("root boom") })
+}
+
+// TestRunOnServingRuntime: Run on an already-Started runtime submits into
+// the live worker pool and leaves it serving.
+func TestRunOnServingRuntime(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2})
+	rt.Start()
+	st := rt.Run(submitFib(10))
+	if st.JobsCompleted != 1 {
+		t.Errorf("JobsCompleted=%d, want 1", st.JobsCompleted)
+	}
+	// Still serving: Submit must not panic.
+	if err := rt.Submit(submitFib(5)).Err(); err != nil {
+		t.Errorf("Submit after Run-on-serving: %v", err)
+	}
+	if err := rt.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestJobLatencyHistogram: a serving run with a MetricsSink attached must
+// fold per-Job submit-to-completion latencies into the job-latency
+// histogram (the serve experiment's p50/p99/p999 source).
+func TestJobLatencyHistogram(t *testing.T) {
+	sink := trace.NewMetricsSink()
+	rt := NewRuntime(Config{Workers: 2, Sink: sink})
+	rt.Start()
+	const n = 20
+	jobs := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, rt.Submit(submitFib(8)))
+	}
+	for _, j := range jobs {
+		j.Wait()
+	}
+	if err := rt.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	snap := sink.Snapshot()
+	if snap.JobLatency.Count != n {
+		t.Errorf("JobLatency.Count=%d, want %d", snap.JobLatency.Count, n)
+	}
+	if p50 := snap.JobLatency.Quantile(0.5); p50 <= 0 {
+		t.Errorf("p50=%d, want > 0", p50)
+	}
+}

@@ -319,9 +319,10 @@ func (w *W) joinBlocking(f *Frame) {
 
 // exec pushes the task's simulated frame, runs its body with depth/frame
 // context switched, and pops the frame. A panic escaping the task body is
-// captured on the parent frame (re-raised at its Join); for the root task
-// (no parent frame) it is re-raised by Run after shutdown. Bookkeeping is
-// restored either way, so the worker survives.
+// captured on the parent frame (re-raised at its Join); for a root task
+// (no parent frame) it is captured on the task's Job, surfacing through
+// Job.Err without disturbing sibling jobs. Bookkeeping is restored either
+// way, so the worker survives.
 func (w *W) exec(t task) {
 	base, err := w.stack.Push(int(t.bytes))
 	if err != nil {
@@ -336,8 +337,8 @@ func (w *W) exec(t task) {
 			tp := capture(v)
 			if t.frame != nil {
 				t.frame.recordPanic(tp)
-			} else {
-				w.rt.rootPanic.CompareAndSwap(nil, tp)
+			} else if t.job != nil {
+				t.job.tp = tp
 			}
 		}
 	}()
@@ -347,9 +348,6 @@ func (w *W) exec(t task) {
 		t.fn(w)
 	}
 }
-
-// runTask executes a root task (no parent frame to notify).
-func (w *W) runTask(t task) { w.exec(t) }
 
 // runInline executes a task popped (or inline-stolen) during a Join, on
 // top of the worker's current stack. Its completion can never resume a
@@ -362,11 +360,30 @@ func (w *W) runInline(t task) {
 	}
 }
 
-// runStolen executes a task stolen by a base-level thief: link the thief's
+// runRoot executes an admitted root task — a submitted Job. A root has no
+// parent frame and no cactus link: its frames grow from the base of the
+// executing worker's own stack. Roots emit job-lifecycle events rather
+// than KindTaskStart/KindTaskEnd, which stay reserved for stolen tasks so
+// the trace-reconciliation law (task events == base steals) survives
+// concurrent submission. The root may itself suspend at a Join — the slot
+// migrates exactly as for any other task — and when exec returns, this
+// goroutine (on whatever slot it now holds) completes the Job.
+func (w *W) runRoot(t task) {
+	w.rt.trc.Emit(w.slotID(), trace.KindJobStart, int64(t.job.id), 0)
+	w.exec(t)
+	w.rt.completeJob(w.slotID(), t.job)
+}
+
+// runStolen executes a task taken by a base-level thief: a submitted root
+// (dispatched through runRoot), or a stolen child — link the thief's
 // stack into the cactus (the stolen child's frames grow on a stack
 // branching from the parent's), execute, and notify the parent. A handoff
 // here marks the slot released so the thief loop retires.
 func (w *W) runStolen(t task) {
+	if t.job != nil {
+		w.runRoot(t)
+		return
+	}
 	if ps := t.frame.stack; ps != nil && ps != w.stack {
 		// The branch depth is the parent stack's watermark when the frame
 		// was initialized — captured then because the victim may still be

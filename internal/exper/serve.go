@@ -1,0 +1,133 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"fibril/internal/core"
+	"fibril/internal/serve"
+	"fibril/internal/table"
+)
+
+// ServeRow is one measurement of the serving experiment, shaped for
+// machine consumption (-json, results/BENCH_serve.json). Rates are
+// expressed both absolutely and as a fraction of the calibrated capacity
+// so the committed file documents saturation behaviour independent of
+// the host that produced it; latencies are histogram-bucket upper bounds
+// (power-of-two buckets from the runtime's MetricsSink), in microseconds.
+type ServeRow struct {
+	Mode           string  `json:"mode"`   // light | overload-queue | overload-shed
+	Policy         string  `json:"policy"` // admission policy: queue | shed
+	Workers        int     `json:"p"`
+	MaxInflight    int     `json:"max_inflight"` // 0 = unlimited
+	Mix            string  `json:"mix"`
+	CapacityPerSec float64 `json:"capacity_per_sec"` // calibrated closed-loop throughput
+	RatePerSec     float64 `json:"rate_per_sec"`     // offered open-loop rate
+	RateFraction   float64 `json:"rate_fraction"`    // RatePerSec / CapacityPerSec
+	Saturating     bool    `json:"saturating"`       // RatePerSec > CapacityPerSec
+	Requests       int     `json:"requests"`
+	Completed      int64   `json:"completed"`
+	Shed           int64   `json:"shed"`
+	Drained        int64   `json:"drained"`
+	P50us          int64   `json:"p50_us"`
+	P99us          int64   `json:"p99_us"`
+	P999us         int64   `json:"p999_us"`
+	MeanUs         int64   `json:"mean_us"`
+	DrainQueued    int     `json:"drain_queued_tasks"`
+	DrainPending   int     `json:"drain_pending_reclaims"`
+}
+
+// serveLeg is one mode of the serving experiment: an offered rate as a
+// fraction of calibrated capacity, plus the admission posture.
+type serveLeg struct {
+	mode     string
+	fraction float64 // offered rate = fraction × capacity
+	policy   core.AdmissionPolicy
+	bounded  bool // MaxInflight = Workers (admission control engaged)
+}
+
+// Serve runs the serving experiment: calibrate the runtime's capacity
+// for the mixed request shapes (closed loop), then drive three open-loop
+// legs — light load with unbounded admission, and the same saturating
+// overload under both admission postures (queue vs shed). The light leg
+// shows baseline request latency; the overload pair shows the policy
+// trade: queueing preserves completion at the cost of unbounded waiting,
+// shedding preserves the latency of admitted work at the cost of
+// availability.
+func Serve(o Options) ([]ServeRow, *table.Table) {
+	o = o.withDefaults()
+	workers := o.Workers
+	if workers == 0 {
+		workers = 4
+	}
+	calN, reqLight, reqOver := 80, 240, 160
+	if o.Full {
+		calN, reqLight, reqOver = 400, 1200, 800
+	}
+	base := serve.Config{
+		Runtime: core.Config{Workers: workers},
+		Seed:    1,
+	}
+	capacity, err := serve.Capacity(base, calN)
+	if err != nil {
+		panic("exper: serve calibration: " + err.Error())
+	}
+
+	legs := []serveLeg{
+		{mode: "light", fraction: 0.25, policy: core.AdmitQueue, bounded: false},
+		{mode: "overload-queue", fraction: 2.5, policy: core.AdmitQueue, bounded: true},
+		{mode: "overload-shed", fraction: 2.5, policy: core.AdmitShed, bounded: true},
+	}
+	mix := strings.Join(base.SortedShapes(), ",")
+	t := &table.Table{
+		Title: fmt.Sprintf("Serving: open-loop request latency at P=%d (capacity %.0f req/s, mix %s)",
+			workers, capacity, mix),
+		Header: []string{"mode", "policy", "rate/s", "×cap", "requests",
+			"completed", "shed", "p50", "p99", "p999"},
+	}
+	var rows []ServeRow
+	for _, leg := range legs {
+		cfg := base
+		cfg.Rate = leg.fraction * capacity
+		cfg.Requests = reqLight
+		if leg.fraction > 1 {
+			cfg.Requests = reqOver
+		}
+		cfg.Runtime.Admission = leg.policy
+		if leg.bounded {
+			cfg.Runtime.MaxInflight = workers
+		}
+		res, err := serve.Run(cfg)
+		if err != nil {
+			panic("exper: serve leg " + leg.mode + ": " + err.Error())
+		}
+		row := ServeRow{
+			Mode:           leg.mode,
+			Policy:         leg.policy.String(),
+			Workers:        workers,
+			MaxInflight:    cfg.Runtime.MaxInflight,
+			Mix:            mix,
+			CapacityPerSec: capacity,
+			RatePerSec:     cfg.Rate,
+			RateFraction:   leg.fraction,
+			Saturating:     cfg.Rate > capacity,
+			Requests:       res.Offered,
+			Completed:      res.Completed,
+			Shed:           res.Shed,
+			Drained:        res.Drained,
+			P50us:          res.P50.Microseconds(),
+			P99us:          res.P99.Microseconds(),
+			P999us:         res.P999.Microseconds(),
+			MeanUs:         res.Mean.Microseconds(),
+			DrainQueued:    res.DrainQueuedTasks,
+			DrainPending:   res.DrainPendingReclaims,
+		}
+		rows = append(rows, row)
+		t.Add(row.Mode, row.Policy, fmt.Sprintf("%.0f", row.RatePerSec),
+			fmt.Sprintf("%.2f", row.RateFraction), row.Requests,
+			row.Completed, row.Shed,
+			fmt.Sprintf("%dµs", row.P50us), fmt.Sprintf("%dµs", row.P99us),
+			fmt.Sprintf("%dµs", row.P999us))
+	}
+	return rows, t
+}

@@ -1,0 +1,346 @@
+// Package serve is "fibril as a service": an open-loop request generator
+// that fires mixed fork-join request trees at one live serving Runtime
+// (Start/Submit/Close, internal/core) and reports request-latency
+// quantiles and saturation behaviour.
+//
+// The generator is open-loop: arrivals follow a fixed schedule derived
+// from the offered rate, independent of completions, so when the offered
+// load exceeds the runtime's capacity the backlog (or the shed count,
+// under AdmitShed) grows instead of the arrival process silently slowing
+// down — the coordinated-omission trap a closed-loop generator falls
+// into. Latency is measured by the runtime itself: every Job's
+// submit-to-completion time lands in the attached MetricsSink's
+// job-latency histogram (trace.KindJobDone), so queueing delay under
+// admission control is part of the measurement, exactly as a caller
+// would experience it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"fibril/internal/bench"
+	"fibril/internal/core"
+	"fibril/internal/trace"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Runtime is the serving runtime's configuration (Workers,
+	// MaxInflight, Admission, TenantQuotaPages, ...). Its Sink field is
+	// ignored: Run attaches its own MetricsSink to read latencies.
+	Runtime core.Config
+	// Rate is the offered load in requests per second. Must be > 0.
+	Rate float64
+	// Requests is the number of requests to fire.
+	Requests int
+	// Seed drives the request-mix RNG; runs with equal seeds fire the
+	// same request sequence.
+	Seed uint64
+	// Tenants spreads requests round-robin over this many tenant names
+	// ("t0", "t1", ...); 0 or 1 submits everything under the default
+	// tenant.
+	Tenants int
+	// Shapes restricts the request mix to the named shapes; empty means
+	// all of ShapeNames().
+	Shapes []string
+}
+
+// Result is the outcome of one load run.
+type Result struct {
+	Offered   int           // requests fired
+	Completed int64         // requests that ran to completion
+	Shed      int64         // requests rejected at admission
+	Drained   int64         // requests abandoned by Close (0: Run closes gracefully)
+	Errors    int           // Job errors other than shed/drained (must be 0)
+	Elapsed   time.Duration // first submission to last completion
+	P50       time.Duration // request-latency quantiles (bucket upper bounds)
+	P99       time.Duration
+	P999      time.Duration
+	Mean      time.Duration
+	Stats     core.Stats
+	// Post-drain gauges: Close must leave no queued tasks and no live
+	// reclaim tickets.
+	DrainQueuedTasks     int
+	DrainPendingReclaims int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("offered=%d completed=%d shed=%d p50<=%v p99<=%v p999<=%v",
+		r.Offered, r.Completed, r.Shed, r.P50, r.P99, r.P999)
+}
+
+// checksum defeats dead-code elimination of the request bodies.
+var checksum atomic.Uint64
+
+// shape is one request type: a fork-join tree a Job executes.
+type shape struct {
+	name string
+	body func(w *core.W, rng uint64)
+}
+
+// benchShape adapts a registered benchmark at a request-scale input:
+// small enough that one request is sub-millisecond work, large enough to
+// fork real parallelism into the scheduler.
+func benchShape(name string, a bench.Arg) shape {
+	s := bench.Get(name)
+	if s == nil {
+		panic("serve: unknown benchmark " + name)
+	}
+	return shape{name: name, body: func(w *core.W, _ uint64) {
+		checksum.Add(s.Parallel(w, a))
+	}}
+}
+
+// shapes returns the request mix in presentation order. Three of the
+// paper's divide-and-conquer trees at request scale, plus the layered
+// request graph no batch benchmark exhibits.
+func shapes() []shape {
+	return []shape{
+		benchShape("fib", bench.Arg{N: 16}),
+		benchShape("nqueens", bench.Arg{N: 7}),
+		benchShape("integrate", bench.Arg{N: 8, M: 2}),
+		{name: "reqgraph", body: reqGraph},
+	}
+}
+
+// ShapeNames lists the request shapes Run can mix.
+func ShapeNames() []string {
+	ss := shapes()
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.name
+	}
+	return names
+}
+
+// reqGraph is the request-graph shape: a service request that runs three
+// sequential stages, each fanning out to parallel sub-requests (gather
+// from F backends, combine, continue) whose leaves do pseudo-random
+// amounts of work. Unlike the divide-and-conquer benchmarks its
+// parallelism is wide and shallow with full barriers between stages —
+// the fork/join skeleton of a fan-out RPC handler.
+func reqGraph(w *core.W, rng uint64) {
+	var sum atomic.Uint64
+	for stage := 0; stage < 3; stage++ {
+		fan := 2 + int(rng>>uint(8*stage))%3 // 2..4 sub-requests per stage
+		var f core.Frame
+		w.Init(&f)
+		for i := 0; i < fan; i++ {
+			leafRng := splitmix(rng + uint64(stage*16+i))
+			w.Fork(&f, func(w *core.W) {
+				sum.Add(leafWork(w, leafRng))
+			})
+		}
+		w.Join(&f)
+		rng = splitmix(rng)
+	}
+	checksum.Add(sum.Load())
+}
+
+// leafWork is one backend sub-request: a short spin whose length varies
+// by leaf, plus one nested fork pair on the longer leaves so sub-requests
+// themselves expose stealable work.
+func leafWork(w *core.W, rng uint64) uint64 {
+	units := 200 + int64(rng%1800)
+	if rng&7 == 0 {
+		var f core.Frame
+		w.Init(&f)
+		var a, b uint64
+		w.Fork(&f, func(*core.W) { a = spin(units) })
+		b = spin(units / 2)
+		w.Join(&f)
+		return a + b
+	}
+	return spin(units)
+}
+
+// spin burns roughly `units` of CPU and returns a value derived from it.
+func spin(units int64) uint64 {
+	x := uint64(units)*0x9E3779B97F4A7C15 | 1
+	for i := int64(0); i < units*16; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// mix resolves cfg.Shapes against the registry.
+func (cfg Config) mix() ([]shape, error) {
+	all := shapes()
+	if len(cfg.Shapes) == 0 {
+		return all, nil
+	}
+	byName := map[string]shape{}
+	for _, s := range all {
+		byName[s.name] = s
+	}
+	var picked []shape
+	for _, n := range cfg.Shapes {
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown shape %q (have %v)", n, ShapeNames())
+		}
+		picked = append(picked, s)
+	}
+	return picked, nil
+}
+
+// request returns the i-th request of the run: its shape, its body RNG,
+// and its tenant.
+func (cfg Config) request(mix []shape, i int) (shape, uint64, string) {
+	r := splitmix(cfg.Seed + uint64(i)*0x9E37)
+	s := mix[int(r%uint64(len(mix)))]
+	tenant := ""
+	if cfg.Tenants > 1 {
+		tenant = fmt.Sprintf("t%d", i%cfg.Tenants)
+	}
+	return s, r, tenant
+}
+
+func (cfg Config) runtimeConfig(sink trace.Sink) core.Config {
+	rc := cfg.Runtime
+	if rc.Workers == 0 {
+		rc.Workers = 4
+	}
+	if rc.StackPages == 0 {
+		rc.StackPages = 1024
+	}
+	rc.Sink = sink
+	return rc
+}
+
+// Capacity estimates the runtime's saturation throughput for cfg's
+// request mix: it starts a runtime, runs n requests back-to-back — a
+// closed loop with exactly Workers requests in flight, so the scheduler
+// is busy but never queue-building — and returns completed requests per
+// second. Offered rates for Run are meaningfully expressed as fractions
+// or multiples of this number, which makes the experiment's saturation
+// legs host-independent.
+func Capacity(cfg Config, n int) (float64, error) {
+	mix, err := cfg.mix()
+	if err != nil {
+		return 0, err
+	}
+	rc := cfg.runtimeConfig(nil)
+	rc.MaxInflight = 0 // closed loop does its own windowing
+	rt := core.NewRuntime(rc)
+	rt.Start()
+	defer rt.Close(context.Background())
+
+	window := rc.Workers
+	if window < 1 {
+		window = 1
+	}
+	jobs := make(chan *core.Job, window)
+	start := time.Now()
+	fired := 0
+	for fired < window && fired < n {
+		s, r, tenant := cfg.request(mix, fired)
+		jobs <- rt.SubmitTenant(tenant, bodyOf(s, r))
+		fired++
+	}
+	done := 0
+	for done < n {
+		j := <-jobs
+		j.Wait()
+		done++
+		if fired < n {
+			s, r, tenant := cfg.request(mix, fired)
+			jobs <- rt.SubmitTenant(tenant, bodyOf(s, r))
+			fired++
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(n) / elapsed.Seconds(), nil
+}
+
+func bodyOf(s shape, rng uint64) func(*core.W) {
+	return func(w *core.W) { s.body(w, rng) }
+}
+
+// Run fires cfg.Requests requests at cfg.Rate against a fresh serving
+// runtime, waits for every Job, closes the runtime gracefully, and
+// reports latency quantiles and the admission outcome. The arrival
+// schedule is fixed up front (start + i/Rate); a generator running
+// behind schedule submits immediately without stretching later arrivals.
+func Run(cfg Config) (Result, error) {
+	if cfg.Rate <= 0 {
+		return Result{}, errors.New("serve: Config.Rate must be > 0")
+	}
+	if cfg.Requests <= 0 {
+		return Result{}, errors.New("serve: Config.Requests must be > 0")
+	}
+	mix, err := cfg.mix()
+	if err != nil {
+		return Result{}, err
+	}
+	sink := trace.NewMetricsSink()
+	rt := core.NewRuntime(cfg.runtimeConfig(sink))
+	rt.Start()
+
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	start := time.Now()
+	jobs := make([]*core.Job, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		if due := start.Add(time.Duration(i) * interval); time.Now().Before(due) {
+			time.Sleep(time.Until(due))
+		}
+		s, r, tenant := cfg.request(mix, i)
+		jobs[i] = rt.SubmitTenant(tenant, bodyOf(s, r))
+	}
+	res := Result{Offered: cfg.Requests}
+	for _, j := range jobs {
+		switch err := j.Err(); {
+		case err == nil,
+			errors.Is(err, core.ErrShed),
+			errors.Is(err, core.ErrDrained):
+		default:
+			res.Errors++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if err := rt.Close(context.Background()); err != nil {
+		return res, fmt.Errorf("serve: graceful Close failed: %w", err)
+	}
+	res.Stats = rt.Stats()
+	res.Completed = res.Stats.JobsCompleted
+	res.Shed = res.Stats.JobsShed
+	res.Drained = res.Stats.JobsDrained
+	res.DrainQueuedTasks = rt.QueuedTasks()
+	res.DrainPendingReclaims = rt.PendingReclaims()
+
+	lat := sink.Snapshot().JobLatency
+	res.P50 = time.Duration(lat.Quantile(0.5))
+	res.P99 = time.Duration(lat.Quantile(0.99))
+	res.P999 = time.Duration(lat.Quantile(0.999))
+	res.Mean = time.Duration(lat.Mean())
+	return res, nil
+}
+
+// SortedShapes returns cfg's effective shape names, sorted — the mix
+// identity recorded in experiment rows.
+func (cfg Config) SortedShapes() []string {
+	names := cfg.Shapes
+	if len(names) == 0 {
+		names = ShapeNames()
+	}
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"testing"
+
+	"fibril/internal/core"
+)
+
+// TestCapacity pins the calibration contract: a positive requests/second
+// estimate from a closed-loop run.
+func TestCapacity(t *testing.T) {
+	cap, err := Capacity(Config{Runtime: core.Config{Workers: 2}, Seed: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap <= 0 {
+		t.Fatalf("Capacity = %v, want > 0", cap)
+	}
+}
+
+// TestRunLight drives a light open-loop load and checks the conservation
+// and measurement contract: every request completes, none shed or
+// drained, latencies measured, drain gauges zero.
+func TestRunLight(t *testing.T) {
+	res, err := Run(Config{
+		Runtime:  core.Config{Workers: 2},
+		Rate:     500,
+		Requests: 40,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != int64(res.Offered) || res.Shed != 0 || res.Drained != 0 {
+		t.Fatalf("conservation: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected job errors: %d", res.Errors)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Fatalf("latency quantiles not monotone-positive: p50=%v p99=%v p999=%v",
+			res.P50, res.P99, res.P999)
+	}
+	if lat := res.Stats.JobsCompleted; lat != int64(res.Offered) {
+		t.Fatalf("JobsCompleted=%d, want %d", lat, res.Offered)
+	}
+	if res.DrainQueuedTasks != 0 || res.DrainPendingReclaims != 0 {
+		t.Fatalf("drain left state: queued=%d pending=%d",
+			res.DrainQueuedTasks, res.DrainPendingReclaims)
+	}
+}
+
+// TestRunShedOverload pins the overload posture: with MaxInflight bounded
+// and AdmitShed, a rate far past capacity sheds rather than queues, and
+// Submitted == Shed + Completed still balances.
+func TestRunShedOverload(t *testing.T) {
+	res, err := Run(Config{
+		Runtime: core.Config{
+			Workers:     2,
+			MaxInflight: 2,
+			Admission:   core.AdmitShed,
+		},
+		Rate:     50_000, // far past any 2-worker capacity for these shapes
+		Requests: 120,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatal("overload under AdmitShed shed nothing")
+	}
+	if got := res.Completed + res.Shed + res.Drained; got != int64(res.Offered) {
+		t.Fatalf("conservation: completed=%d + shed=%d + drained=%d != offered=%d",
+			res.Completed, res.Shed, res.Drained, res.Offered)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected job errors: %d", res.Errors)
+	}
+}
+
+// TestRunQueueOverload pins the queueing posture: same overload, default
+// AdmitQueue — nothing is shed, everything eventually completes (Run
+// closes gracefully, so the admission queue fully drains).
+func TestRunQueueOverload(t *testing.T) {
+	res, err := Run(Config{
+		Runtime: core.Config{
+			Workers:     2,
+			MaxInflight: 2,
+		},
+		Rate:     50_000,
+		Requests: 80,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 0 || res.Drained != 0 {
+		t.Fatalf("queue mode shed=%d drained=%d, want 0/0", res.Shed, res.Drained)
+	}
+	if res.Completed != int64(res.Offered) {
+		t.Fatalf("completed=%d, want %d", res.Completed, res.Offered)
+	}
+}
+
+// TestRunTenants spreads requests over tenants with a per-tenant page
+// quota low enough to engage; conservation must still balance.
+func TestRunTenants(t *testing.T) {
+	res, err := Run(Config{
+		Runtime: core.Config{
+			Workers:          2,
+			StackPages:       64,
+			TenantQuotaPages: 64, // one inflight job per tenant
+			Admission:        core.AdmitShed,
+		},
+		Rate:     50_000,
+		Requests: 60,
+		Seed:     17,
+		Tenants:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Completed + res.Shed + res.Drained; got != int64(res.Offered) {
+		t.Fatalf("conservation: %+v", res)
+	}
+	if res.Shed == 0 {
+		t.Fatal("tenant quota under overload shed nothing")
+	}
+}
+
+// TestMixSelection rejects unknown shapes and honours subsets.
+func TestMixSelection(t *testing.T) {
+	if _, err := Run(Config{Rate: 1000, Requests: 1, Shapes: []string{"nope"}}); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+	res, err := Run(Config{
+		Runtime:  core.Config{Workers: 2},
+		Rate:     2000,
+		Requests: 10,
+		Shapes:   []string{"reqgraph"},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 10 {
+		t.Fatalf("completed=%d, want 10", res.Completed)
+	}
+}

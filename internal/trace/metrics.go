@@ -42,6 +42,18 @@ func durationBounds() []int64 {
 	return bounds
 }
 
+// latencyBounds covers request (Job submission-to-completion) latencies
+// from 1 µs to ~2.1 s in powers of two — finer-grained than the
+// powers-of-four durationBounds, because serving workloads read p50/p99/
+// p999 off this histogram and a 4× bucket would smear the tail.
+func latencyBounds() []int64 {
+	bounds := make([]int64, 0, 22)
+	for ns := int64(1 << 10); ns <= 1<<31; ns <<= 1 {
+		bounds = append(bounds, ns)
+	}
+	return bounds
+}
+
 // sizeBounds covers small integer sizes (batch sizes, page counts) in
 // powers of two from 1 to 1024.
 func sizeBounds() []int64 {
@@ -143,6 +155,7 @@ type MetricsSink struct {
 	joinWait     *Histogram // KindJoinWait.Dur: time a joiner stayed parked
 	taskRun      *Histogram // KindTaskEnd.Dur: stolen-task run time
 	unmapBatch   *Histogram // KindUnmapBatch.Arg: unmaps per batch flush
+	jobLatency   *Histogram // KindJobDone.Dur: Job submit-to-completion time
 	events       [numKinds]atomic.Int64
 }
 
@@ -153,12 +166,13 @@ func NewMetricsSink() *MetricsSink {
 		joinWait:     newHistogram("ns", durationBounds()),
 		taskRun:      newHistogram("ns", durationBounds()),
 		unmapBatch:   newHistogram("", sizeBounds()),
+		jobLatency:   newHistogram("ns", latencyBounds()),
 	}
 }
 
 // EventMask narrows the stream to the kinds the histograms consume.
 func (m *MetricsSink) EventMask() uint64 {
-	return MaskOf(KindSteal, KindJoinWait, KindTaskEnd, KindUnmap, KindUnmapBatch, KindReclaim)
+	return MaskOf(KindSteal, KindJoinWait, KindTaskEnd, KindUnmap, KindUnmapBatch, KindReclaim, KindJobDone)
 }
 
 // TimestampFree declines per-event clock reads; the histograms only use
@@ -178,6 +192,8 @@ func (m *MetricsSink) Consume(batch []Event) {
 			m.taskRun.Observe(int64(e.Dur))
 		case KindUnmapBatch:
 			m.unmapBatch.Observe(e.Arg)
+		case KindJobDone:
+			m.jobLatency.Observe(int64(e.Dur))
 		}
 	}
 }
@@ -188,6 +204,7 @@ type MetricsSnapshot struct {
 	JoinWait     HistogramSnapshot // time joiners stayed parked (ns)
 	TaskRun      HistogramSnapshot // stolen-task run time (ns)
 	UnmapBatch   HistogramSnapshot // unmaps issued per coalesced batch flush
+	JobLatency   HistogramSnapshot // Job submit-to-completion latency (ns)
 	Events       map[string]int64  // observed event counts by kind name
 }
 
@@ -199,6 +216,7 @@ func (m *MetricsSink) Snapshot() MetricsSnapshot {
 		JoinWait:     m.joinWait.Snapshot(),
 		TaskRun:      m.taskRun.Snapshot(),
 		UnmapBatch:   m.unmapBatch.Snapshot(),
+		JobLatency:   m.jobLatency.Snapshot(),
 		Events:       map[string]int64{},
 	}
 	for k := 0; k < numKinds; k++ {
@@ -215,6 +233,7 @@ func (s MetricsSnapshot) String() string {
 	fmt.Fprintf(&b, "steal-latency: %v\n", s.StealLatency)
 	fmt.Fprintf(&b, "join-wait:     %v\n", s.JoinWait)
 	fmt.Fprintf(&b, "task-run:      %v\n", s.TaskRun)
-	fmt.Fprintf(&b, "unmap-batch:   %v", s.UnmapBatch)
+	fmt.Fprintf(&b, "unmap-batch:   %v\n", s.UnmapBatch)
+	fmt.Fprintf(&b, "job-latency:   %v", s.JobLatency)
 	return b.String()
 }

@@ -58,9 +58,19 @@ const (
 	// DequeRelaxed emits these; the claim layer turns the duplicate into a
 	// no-op, so the event is observability, not an error.
 	KindDupSteal
+	// KindJobStart: a worker began executing a submitted root Job
+	// (arg: job id). Submitted roots deliberately do not emit
+	// KindTaskStart/KindTaskEnd — those remain reserved for stolen tasks,
+	// so the trace-reconciliation law (task events == base steals) holds
+	// under concurrent submission.
+	KindJobStart
+	// KindJobDone: a submitted root Job completed (arg: job id; dur:
+	// submission-to-completion latency — the request latency a serving
+	// workload reports).
+	KindJobDone
 
 	// numKinds bounds the Kind space for mask and counter arrays.
-	numKinds = 11
+	numKinds = 13
 )
 
 // NumKinds returns the number of defined event kinds.
@@ -91,6 +101,10 @@ func (k Kind) String() string {
 		return "unmapbatch"
 	case KindDupSteal:
 		return "dupsteal"
+	case KindJobStart:
+		return "jobstart"
+	case KindJobDone:
+		return "jobdone"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -243,13 +257,14 @@ func (r *Recorder) Timeline(w io.Writer, bucket time.Duration) error {
 		KindFork: 'f', KindSteal: 'S', KindSuspend: 'z',
 		KindResume: 'R', KindUnmap: 'u', KindTaskStart: '>', KindTaskEnd: '<',
 		KindReclaim: 'r', KindJoinWait: 'j', KindUnmapBatch: 'b',
-		KindDupSteal: 'D',
+		KindDupSteal: 'D', KindJobStart: 'J', KindJobDone: 'E',
 	}
 	// Rank kinds so rarer, more interesting events win a contested cell.
 	rank := map[Kind]int{
 		KindFork: 0, KindTaskEnd: 1, KindTaskStart: 2, KindJoinWait: 3,
 		KindUnmap: 4, KindUnmapBatch: 5, KindSteal: 6, KindResume: 7,
-		KindSuspend: 8, KindReclaim: 9, KindDupSteal: 10,
+		KindSuspend: 8, KindReclaim: 9, KindDupSteal: 10, KindJobStart: 11,
+		KindJobDone: 12,
 	}
 	lanes := make([][]byte, maxWorker+1)
 	laneRank := make([][]int, maxWorker+1)
@@ -274,7 +289,7 @@ func (r *Recorder) Timeline(w io.Writer, bucket time.Duration) error {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "timeline: %v total, %v/column; f=fork S=steal z=suspend R=resume u=unmap r=reclaim j=joinwait b=batch D=dupsteal >=start <=end\n",
+	fmt.Fprintf(&b, "timeline: %v total, %v/column; f=fork S=steal z=suspend R=resume u=unmap r=reclaim j=joinwait b=batch D=dupsteal J=jobstart E=jobdone >=start <=end\n",
 		span.Round(time.Microsecond), bucket)
 	for i, lane := range lanes {
 		fmt.Fprintf(&b, "w%-3d %s\n", i, lane)

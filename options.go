@@ -103,3 +103,24 @@ func WithMaxResidentPages(n int64) Option {
 func WithSink(s Sink) Option {
 	return func(c *Config) { c.Sink = s }
 }
+
+// WithMaxInflight bounds the number of concurrently admitted Jobs on the
+// serving lifecycle (Start/Submit/Close); excess submissions queue or
+// shed per the admission policy. Default: 0, unlimited.
+func WithMaxInflight(n int) Option {
+	return func(c *Config) { c.MaxInflight = n }
+}
+
+// WithAdmission selects what Submit does with a job that does not fit:
+// AdmitQueue parks it for FIFO admission as capacity frees up, AdmitShed
+// rejects it immediately with ErrShed. Default: AdmitQueue.
+func WithAdmission(p AdmissionPolicy) Option {
+	return func(c *Config) { c.Admission = p }
+}
+
+// WithTenantQuotaPages bounds the simulated stack pages one tenant's
+// admitted Jobs may reserve at once (each job reserves StackPages); use
+// SubmitTenant to attribute submissions. Default: 0, unlimited.
+func WithTenantQuotaPages(n int64) Option {
+	return func(c *Config) { c.TenantQuotaPages = n }
+}
