@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fibril/internal/core"
 	"fibril/internal/trace"
@@ -229,6 +230,152 @@ func CheckJobs(ps []*Program, e JobsExec) error {
 	// and surfaces through its own Job, never unwinding the thief loop, so
 	// every event/counter pairing stays intact even with panicking roots
 	// in the mix.
+	v.reconcileTrace(e.Trace, st)
+	return v.err()
+}
+
+// The many-submitters × tiny-jobs stress lane: K goroutines each submit M
+// single-node roots back to back, so the runtime spends essentially all
+// of its time in the intake path — CAS admission, sharded root queues,
+// Job pooling (every job is Released), wake-one parking — rather than in
+// the computation. This is the adversarial load for PR 10's lock-
+// minimized Submit: the generated-program leg above stresses scheduling
+// *within* jobs, this lane stresses the machinery *between* them.
+
+// StressExec is the observable outcome of one stress run.
+type StressExec struct {
+	Label    string
+	Counts   []uint32 // executions per root (must be exactly 1 each)
+	Errs     []error  // Job.Err per root
+	Seqs     []uint64 // Job.Seq per root
+	Stats    core.Stats
+	Queued   int
+	Parked   int
+	Pending  int
+	Inflight int
+	JobQueue int
+	CloseErr error
+	Trace    TraceSummary
+}
+
+// RunJobStress floods one serving runtime with k submitter goroutines ×
+// m single-node roots each, waiting for and Releasing every Job, then
+// Closes gracefully. The intake kind is a parameter so the sharded
+// pipeline and the mutex baseline run the identical program
+// differentially.
+func RunJobStress(k, m, workers int, intake core.IntakeKind) StressExec {
+	n := k * m
+	e := StressExec{
+		Label:  fmt.Sprintf("jobstress/%v/P=%d/K=%d/M=%d", intake, workers, k, m),
+		Counts: make([]uint32, n),
+		Errs:   make([]error, n),
+		Seqs:   make([]uint64, n),
+	}
+	rec := trace.NewRecorder(traceRecorderCap)
+	rt := core.NewRuntime(core.Config{
+		Workers:    workers,
+		StackPages: harnessStackPages,
+		Intake:     intake,
+		Sink:       rec,
+	})
+	rt.Start()
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < m; i++ {
+				idx := s*m + i
+				j := rt.Submit(func(*core.W) {
+					atomic.AddUint32(&e.Counts[idx], 1)
+				})
+				e.Errs[idx] = j.Err()
+				e.Seqs[idx] = j.Seq()
+				j.Release()
+			}
+		}(s)
+	}
+	wg.Wait()
+	e.CloseErr = rt.Close(context.Background())
+	e.Stats = rt.Stats()
+	e.Trace = SummarizeTrace(rec)
+	e.Queued = rt.QueuedTasks()
+	e.Parked = rt.ParkedThieves()
+	e.Pending = rt.PendingReclaims()
+	e.Inflight = rt.InflightJobs()
+	e.JobQueue = rt.QueuedJobs()
+	return e
+}
+
+// CheckJobStress runs the oracles for a stress run: exactly-once
+// execution, per-root success, Seq a permutation of 1..k*m, quiescence
+// after Close, the job conservation laws at Submitted == k*m, the
+// no-fork flow laws (single-node roots make no tasks, so Forks and
+// Steals must both read zero), and trace reconciliation — which pins
+// #JobStart == #JobDone == JobsCompleted and the TaskStart ==
+// Steals − RestrictedSteals identity on the stressed path.
+func CheckJobStress(k, m int, e StressExec) error {
+	v := &violations{label: e.Label}
+	st := e.Stats
+	n := k * m
+
+	for i, c := range e.Counts {
+		if c != 1 {
+			v.failf("root %d executed %d times, want exactly once", i, c)
+		}
+	}
+	for i, err := range e.Errs {
+		if err != nil {
+			v.failf("root %d: Job.Err=%v, want nil", i, err)
+		}
+	}
+	seen := make(map[uint64]int, n)
+	for i, s := range e.Seqs {
+		if s < 1 || s > uint64(n) {
+			v.failf("root %d: completion rank %d outside [1,%d]", i, s, n)
+		} else if prev, dup := seen[s]; dup {
+			v.failf("roots %d and %d share completion rank %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+
+	if e.CloseErr != nil {
+		v.failf("graceful Close returned %v, want nil", e.CloseErr)
+	}
+	if e.Queued != 0 {
+		v.failf("%d tasks left in deques after Close", e.Queued)
+	}
+	if e.Parked != 0 {
+		v.failf("%d thieves still parked after Close", e.Parked)
+	}
+	if e.Pending != 0 {
+		v.failf("%d reclaim tickets still live after Close", e.Pending)
+	}
+	if e.Inflight != 0 {
+		v.failf("InflightJobs=%d after Close, want 0", e.Inflight)
+	}
+	if e.JobQueue != 0 {
+		v.failf("QueuedJobs=%d after Close, want 0", e.JobQueue)
+	}
+
+	if st.JobsSubmitted != int64(n) || st.JobsAdmitted != int64(n) || st.JobsCompleted != int64(n) {
+		v.failf("JobsSubmitted=%d JobsAdmitted=%d JobsCompleted=%d, want %d each",
+			st.JobsSubmitted, st.JobsAdmitted, st.JobsCompleted, n)
+	}
+	if st.JobsShed != 0 || st.JobsDrained != 0 {
+		v.failf("graceful run shed %d / drained %d jobs, want 0/0", st.JobsShed, st.JobsDrained)
+	}
+
+	// Single-node roots: the scheduler never sees a forked task, so the
+	// whole steal/suspend economy must be silent.
+	if st.Forks != 0 || st.Calls != 0 {
+		v.failf("Forks=%d Calls=%d on single-node roots, want 0/0", st.Forks, st.Calls)
+	}
+	if st.Steals != 0 || st.Suspends != 0 || st.Resumes != 0 {
+		v.failf("Steals=%d Suspends=%d Resumes=%d on single-node roots, want 0 each",
+			st.Steals, st.Suspends, st.Resumes)
+	}
+
 	v.reconcileTrace(e.Trace, st)
 	return v.err()
 }

@@ -77,3 +77,22 @@ func TestConcurrentJobsCleanOnly(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestJobStressManySubmitters is the PR 10 intake stress lane: 16
+// submitter goroutines × tiny single-node roots, on both the sharded
+// intake and the mutex baseline, with every oracle from CheckJobStress
+// (exactly-once, Seq permutation, conservation, trace reconciliation).
+// The race job in CI runs this package, so the lane doubles as the
+// -race certificate for the CAS/sharded/pooled/wake-one path.
+func TestJobStressManySubmitters(t *testing.T) {
+	const k, m, workers = 16, 25, 4
+	for _, intake := range core.IntakeKinds() {
+		intake := intake
+		t.Run(intake.String(), func(t *testing.T) {
+			e := RunJobStress(k, m, workers, intake)
+			if err := CheckJobStress(k, m, e); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the root-intake layer of the serving lifecycle: the queue
+// of admitted roots awaiting a worker, behind a small interface so the
+// lock-minimized sharded pipeline (IntakeSharded, the default) and the
+// single-mutex PR 8 baseline (IntakeMutex) stay differentially testable
+// against each other. Either way the intake is deliberately separate from
+// looseQueue: loose tasks are already-claimed, already-counted *steals*,
+// while roots are new computations that must not perturb the steal
+// counters or the trace-reconciliation laws — and thieves take roots only
+// after a full steal sweep fails, so in-flight computations keep their
+// workers until there is genuinely idle capacity.
+
+// rootIntake is the queue of admitted roots awaiting a worker, plus the
+// Job recycling pool (a no-op for the baseline). push may be called from
+// any goroutine; pop is called by thieves (self is the thief's slot, used
+// by the sharded intake to spread drains; -1 for slotless callers).
+type rootIntake interface {
+	push(j *Job)
+	pop(self int) (*Job, bool)
+	len() int
+
+	// getJob returns a recycled Job for the given submission id (nil when
+	// the pool is empty or pooling is off); putJob recycles a completed,
+	// already-reset Job. See Job.Release for the handoff rules.
+	getJob(id uint64) *Job
+	putJob(id uint64, j *Job)
+}
+
+// intakeHash spreads submission ids over n shards. Fibonacci hashing on
+// the id: consecutive ids land on well-spread shards, so concurrent
+// submitters do not convoy on one shard even though ids are sequential.
+func intakeHash(id uint64, n int) int {
+	return int((id * 0x9E3779B97F4A7C15 >> 33) % uint64(n))
+}
+
+// jobFreeCap bounds one shard's free list so a submission burst cannot
+// hoard an unbounded Job graveyard.
+const jobFreeCap = 256
+
+// intakeShard is one lane of the sharded intake. Producers (submitters)
+// are lock-free: push links the Job into a Treiber-style LIFO inbox with
+// one CAS, using the Job's intrusive qnext field — no allocation, no
+// lock, no shared line beyond the shard's own. Consumers (thieves) are
+// serialized per shard by cmu: a pop adopts the whole inbox with one
+// atomic Swap, reverses it into the FIFO out list, and serves from that —
+// the classic MPSC inbox-reversal queue, multi-consumer-safe because the
+// consumer side is the locked side. FIFO order per shard is exact: the
+// out list is consumed before a newer inbox batch is adopted, and a
+// reversed LIFO batch is oldest-first.
+//
+// The shard also carries its slice of the Job pool: a Treiber free list
+// whose push is a single CAS and whose pop is guarded by a try-lock
+// (popBusy). Serializing poppers is what makes the Treiber pop ABA-safe
+// without tagged pointers: a node's qnext cannot be rewritten while it is
+// in the list, and only one popper at a time traverses the head. A
+// contended popper simply misses — the caller heap-allocates, which is
+// the safety valve, not a correctness event.
+type intakeShard struct {
+	inbox atomic.Pointer[Job] // lock-free producer side (LIFO)
+	n     atomic.Int64        // visible roots in this shard (inbox + out)
+
+	cmu  sync.Mutex // consumer side: adopt/reverse/pop
+	head *Job       // FIFO out list, oldest first; guarded by cmu
+	tail *Job       // guarded by cmu
+
+	free    atomic.Pointer[Job] // recycled Jobs (Treiber LIFO)
+	freeN   atomic.Int32
+	popBusy atomic.Bool
+
+	_ [4]int64 // pad the hot producer lines away from the next shard
+}
+
+// push publishes j to this shard. Callers wake the park lot afterwards,
+// mirroring Fork's publish-then-wake Dekker pair, so a parked thief
+// cannot miss the root.
+func (s *intakeShard) push(j *Job) {
+	s.n.Add(1)
+	for {
+		h := s.inbox.Load()
+		j.qnext.Store(h)
+		if s.inbox.CompareAndSwap(h, j) {
+			return
+		}
+	}
+}
+
+// pop removes the oldest root in this shard. The n.Load fast path keeps
+// the empty case (every failed steal sweep ends here) at one atomic read
+// of a line that is clean while no submits target the shard.
+func (s *intakeShard) pop() (*Job, bool) {
+	if s.n.Load() <= 0 {
+		return nil, false
+	}
+	s.cmu.Lock()
+	if s.head == nil {
+		// Out list dry: adopt the inbox in one Swap and reverse the LIFO
+		// batch into FIFO order. Everything in the inbox is newer than
+		// anything the out list held, so draining out-first preserves
+		// per-shard FIFO exactly.
+		var rev *Job
+		for in := s.inbox.Swap(nil); in != nil; {
+			next := in.qnext.Load()
+			in.qnext.Store(rev)
+			rev = in
+			in = next
+		}
+		s.head = rev
+	}
+	j := s.head
+	if j == nil {
+		s.cmu.Unlock()
+		return nil, false // racing pop won the batch; transient n overshoot
+	}
+	s.head = j.qnext.Load()
+	j.qnext.Store(nil)
+	s.n.Add(-1)
+	s.cmu.Unlock()
+	return j, true
+}
+
+// getFree pops a recycled Job, or nil. Pops are serialized by popBusy —
+// see the type comment for the ABA argument; a contended caller
+// allocates instead of spinning.
+func (s *intakeShard) getFree() *Job {
+	if s.free.Load() == nil || !s.popBusy.CompareAndSwap(false, true) {
+		return nil
+	}
+	var j *Job
+	for {
+		j = s.free.Load()
+		if j == nil {
+			break
+		}
+		if s.free.CompareAndSwap(j, j.qnext.Load()) {
+			j.qnext.Store(nil)
+			s.freeN.Add(-1)
+			break
+		}
+	}
+	s.popBusy.Store(false)
+	return j
+}
+
+// putFree recycles j (already reset by the caller); over the cap the Job
+// is dropped to the GC.
+func (s *intakeShard) putFree(j *Job) {
+	if s.freeN.Load() >= jobFreeCap {
+		return
+	}
+	s.freeN.Add(1)
+	for {
+		h := s.free.Load()
+		j.qnext.Store(h)
+		if s.free.CompareAndSwap(h, j) {
+			return
+		}
+	}
+}
+
+// shardedIntake is the default root intake: one intakeShard per worker
+// slot. Submitters pick a shard by hashing the submission id; thieves
+// drain shards round-robin starting at their own slot, so concurrent
+// drains start on distinct shards and the "roots only after a failed
+// steal sweep" priority is preserved per thief.
+type shardedIntake struct {
+	shards []intakeShard
+}
+
+func newShardedIntake(n int) *shardedIntake {
+	if n < 1 {
+		n = 1
+	}
+	return &shardedIntake{shards: make([]intakeShard, n)}
+}
+
+func (q *shardedIntake) push(j *Job) {
+	q.shards[intakeHash(j.id, len(q.shards))].push(j)
+}
+
+func (q *shardedIntake) pop(self int) (*Job, bool) {
+	ns := len(q.shards)
+	if self < 0 {
+		self = 0
+	}
+	for i := 0; i < ns; i++ {
+		if j, ok := q.shards[(self+i)%ns].pop(); ok {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+func (q *shardedIntake) len() int {
+	n := 0
+	for i := range q.shards {
+		if v := int(q.shards[i].n.Load()); v > 0 {
+			n += v
+		}
+	}
+	return n
+}
+
+func (q *shardedIntake) getJob(id uint64) *Job {
+	return q.shards[intakeHash(id, len(q.shards))].getFree()
+}
+
+func (q *shardedIntake) putJob(id uint64, j *Job) {
+	q.shards[intakeHash(id, len(q.shards))].putFree(j)
+}
+
+// mutexIntake is the PR 8 baseline: one mutex-guarded FIFO slice, no Job
+// recycling. It is kept selectable (Config.Intake = IntakeMutex) as the
+// differential and benchmark baseline for the sharded pipeline — the
+// submitpath experiment's ≥3× gate is measured against exactly this.
+type mutexIntake struct {
+	mu sync.Mutex
+	n  atomic.Int64
+	js []*Job
+}
+
+func (q *mutexIntake) push(j *Job) {
+	q.mu.Lock()
+	q.js = append(q.js, j)
+	q.n.Store(int64(len(q.js)))
+	q.mu.Unlock()
+}
+
+// pop removes the oldest root. The n.Load fast path keeps the empty case
+// at one atomic read.
+func (q *mutexIntake) pop(self int) (*Job, bool) {
+	if q.n.Load() == 0 {
+		return nil, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.js) == 0 {
+		return nil, false
+	}
+	j := q.js[0]
+	q.js[0] = nil
+	q.js = q.js[1:]
+	q.n.Store(int64(len(q.js)))
+	return j, true
+}
+
+func (q *mutexIntake) len() int { return int(q.n.Load()) }
+
+func (q *mutexIntake) getJob(id uint64) *Job  { return nil }
+func (q *mutexIntake) putJob(id uint64, j *Job) {}

@@ -17,14 +17,23 @@ import (
 // wrappers over this machinery — see runtime.go — so batch and serving
 // execution share a single code path.
 //
-// A submitted root is injected into the scheduler through a dedicated FIFO
-// (rootQueue) rather than a worker deque: idle thieves take roots only
-// after a full steal sweep fails, so in-flight computations keep their
-// workers until there is genuinely idle capacity, and restricted
-// (TBB/leapfrog) inline steals can never pick up an unrelated root.
-// Admission control in front of the queue bounds the number of live roots
-// (Config.MaxInflight) and the per-tenant stack-page budget
-// (Config.TenantQuotaPages), shedding or queueing per Config.Admission.
+// A submitted root is injected into the scheduler through a dedicated
+// root intake (see intake.go) rather than a worker deque: idle thieves
+// take roots only after a full steal sweep fails, so in-flight
+// computations keep their workers until there is genuinely idle capacity,
+// and restricted (TBB/leapfrog) inline steals can never pick up an
+// unrelated root. Admission control in front of the intake bounds the
+// number of live roots (Config.MaxInflight) and the per-tenant stack-page
+// budget (Config.TenantQuotaPages), shedding or queueing per
+// Config.Admission.
+//
+// Under the default IntakeSharded pipeline the admission decision itself
+// is lock-free whenever no tenant quotas are configured and the admission
+// queue is empty: Submit reserves an inflight slot with one CAS against
+// MaxInflight (one uncontended Add when unlimited) and only falls back to
+// the admission mutex for queue promotion, tenant budgets, and lifecycle
+// transitions. See DESIGN.md §14 for the full pipeline and its Dekker
+// arguments.
 
 // Submission errors, surfaced through Job.Err.
 var (
@@ -70,23 +79,62 @@ func AdmissionPolicies() []AdmissionPolicy {
 	return []AdmissionPolicy{AdmitQueue, AdmitShed}
 }
 
+// Job completion states (Job.state).
+const (
+	jobPending uint32 = iota
+	jobDone
+)
+
+// closedChan is the shared, permanently closed channel Done hands out for
+// already-completed jobs, so polling a finished Job allocates nothing.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // Job is one submitted root computation on a serving Runtime. A Job is
 // created by Submit and completes exactly once: executed to completion
 // (possibly with a captured panic), shed at admission, or drained by a
 // forced Close. All methods are safe from any goroutine.
+//
+// Jobs are pooled (IntakeSharded): a caller that is done with a handle
+// may call Release to recycle it. The wait channel is allocated lazily —
+// only when a caller actually blocks in Done/Wait/Err/Seq before the job
+// has completed — so the submit → complete fast path never allocates one.
 type Job struct {
 	id        uint64
 	tenant    string
 	root      func(*W)
-	submitted time.Time
+	rt        *Runtime
+	submitted time.Time // zero unless a sink consumes KindJobDone (or IntakeMutex)
 
-	done chan struct{}
-	// The fields below are written exactly once, before done is closed,
-	// and read only after <-done.
-	tp    *TaskPanic
-	err   error
-	stats Stats
-	seq   uint64
+	// qnext is the intrusive link threading the Job through an intake
+	// shard's inbox, its FIFO out list, or its free list (a Job is in at
+	// most one of the three at a time).
+	qnext atomic.Pointer[Job]
+
+	// Completion handshake. state flips to jobDone exactly once per
+	// generation, after the result fields below are written; donep holds
+	// the lazily published wait channel; sealed makes the close
+	// exactly-once when completer and waiter race (see Done/finish).
+	state  atomic.Uint32
+	donep  atomic.Pointer[chan struct{}]
+	sealed atomic.Bool
+
+	// The fields below are written exactly once, before state flips, and
+	// read only after observing jobDone.
+	tp  *TaskPanic
+	err error
+	seq uint64
+
+	// Lazily computed Stats snapshot (first Wait), so completion does not
+	// pay the O(P×fields) counter aggregation when nobody reads it. A
+	// plain mutex+bool rather than sync.Once because pooled Jobs must be
+	// resettable.
+	statsMu sync.Mutex
+	statsOK bool
+	stats   Stats
 }
 
 // ID returns the job's submission-order identifier (1-based; assigned by
@@ -97,16 +145,74 @@ func (j *Job) ID() uint64 { return j.id }
 // default tenant).
 func (j *Job) Tenant() string { return j.tenant }
 
-// Done returns a channel closed when the job completes (including shed and
-// drained jobs), for select-based composition.
-func (j *Job) Done() <-chan struct{} { return j.done }
+// Done returns a channel closed when the job completes (including shed
+// and drained jobs), for select-based composition. The channel is
+// allocated on first use; for an already-completed job Done returns a
+// shared closed channel without allocating.
+func (j *Job) Done() <-chan struct{} {
+	if j.state.Load() == jobDone {
+		return closedChan
+	}
+	if p := j.donep.Load(); p != nil {
+		return *p
+	}
+	ch := make(chan struct{})
+	if !j.donep.CompareAndSwap(nil, &ch) {
+		return *j.donep.Load()
+	}
+	// Dekker with finish: this waiter published the channel and re-checks
+	// the state; the completer stores the state and re-checks the channel.
+	// Under sequentially-consistent atomics one side must see the other,
+	// and the seal keeps the close exactly-once when both do.
+	if j.state.Load() == jobDone {
+		j.seal(&ch)
+	}
+	return ch
+}
 
-// Wait blocks until the job completes and returns the runtime's
-// accumulated Stats snapshot taken at that completion. Unlike the old
-// one-shot Run it never panics; inspect Err for a captured root panic.
+// seal closes the published wait channel exactly once.
+func (j *Job) seal(p *chan struct{}) {
+	if j.sealed.CompareAndSwap(false, true) {
+		close(*p)
+	}
+}
+
+// finish publishes the job's completion: flip the state (the result
+// fields are already written) and close the wait channel if any waiter
+// published one. The state store before the donep load is the completer's
+// half of the Dekker pair in Done.
+func (j *Job) finish() {
+	j.state.Store(jobDone)
+	if p := j.donep.Load(); p != nil {
+		j.seal(p)
+	}
+}
+
+// wait blocks until the job completes, allocating the wait channel only
+// if the job is still running.
+func (j *Job) wait() {
+	if j.state.Load() == jobDone {
+		return
+	}
+	<-j.Done()
+}
+
+// Wait blocks until the job completes and returns a runtime Stats
+// snapshot. The snapshot is computed lazily on the first Wait after
+// completion (and cached on the Job), so jobs whose stats nobody reads —
+// the common serving case — never pay the sharded-counter aggregation.
+// Unlike the old one-shot Run it never panics; inspect Err for a captured
+// root panic.
 func (j *Job) Wait() Stats {
-	<-j.done
-	return j.stats
+	j.wait()
+	j.statsMu.Lock()
+	if !j.statsOK {
+		j.stats = j.rt.Stats()
+		j.statsOK = true
+	}
+	s := j.stats
+	j.statsMu.Unlock()
+	return s
 }
 
 // Err blocks until the job completes and reports how it ended: nil for a
@@ -114,7 +220,7 @@ func (j *Job) Wait() Stats {
 // with the panic value it wraps), or ErrShed/ErrDrained/ErrClosed for jobs
 // admission never ran.
 func (j *Job) Err() error {
-	<-j.done
+	j.wait()
 	return j.err
 }
 
@@ -122,13 +228,45 @@ func (j *Job) Err() error {
 // (1-based): jobs are numbered in the order they finish, which under
 // concurrent submission is generally not submission order.
 func (j *Job) Seq() uint64 {
-	<-j.done
+	j.wait()
 	return j.seq
 }
 
-// lifeState is the Runtime's serving lifecycle state, guarded by
-// admitState.mu.
-type lifeState int
+// Release recycles a completed Job into its runtime's intake pool, where
+// the next Submit picks it up without allocating. Release panics if the
+// job has not completed. Handoff rules: the caller must be the handle's
+// last user — after Release no Job method may be called and no previously
+// returned Done channel consulted, and Release must not race any other
+// method on the same handle (completion itself does not count: Release
+// after Wait/Err is always safe). Release is optional; an unreleased Job
+// is simply garbage-collected. Under IntakeMutex (no pooling) Release
+// validates and drops the handle.
+func (j *Job) Release() {
+	if j.state.Load() != jobDone {
+		panic("core: Release of an incomplete Job")
+	}
+	rt, id := j.rt, j.id
+	j.rt = nil
+	j.id = 0
+	j.tenant = ""
+	j.root = nil
+	j.submitted = time.Time{}
+	j.tp = nil
+	j.err = nil
+	j.seq = 0
+	j.statsOK = false
+	j.stats = Stats{}
+	j.qnext.Store(nil)
+	j.donep.Store(nil)
+	j.sealed.Store(false)
+	j.state.Store(jobPending)
+	rt.subq.putJob(id, j)
+}
+
+// lifeState is the Runtime's serving lifecycle state. It is stored in
+// admitState.life: written only under admitState.mu, loaded lock-free by
+// the submit fast path.
+type lifeState int32
 
 const (
 	lifeIdle    lifeState = iota // no workers up; Submit panics
@@ -138,14 +276,18 @@ const (
 
 // admitState is the admission-control half of the serving lifecycle: the
 // lifecycle state, the inflight count, the per-tenant page reservations,
-// and the not-yet-admitted queue. One mutex guards it all — admission is
-// per-request work, not per-fork work, so a lock here never touches the
-// scheduler hot path.
+// and the not-yet-admitted queue. The mutex guards the queue, the tenant
+// map, and every lifecycle transition; the atomic fields mirror the state
+// the lock-free submit fast path needs (life and qlen are written only
+// under mu, inflight is also CASed directly by the fast path — see
+// SubmitTenant for the interleaving arguments).
 type admitState struct {
-	mu        sync.Mutex
-	state     lifeState
-	inflight  int // admitted, not yet completed
-	max       int // Config.MaxInflight (0 = unlimited)
+	mu       sync.Mutex
+	life     atomic.Int32 // lifeState; stores under mu only
+	inflight atomic.Int64 // admitted, not yet completed
+	qlen     atomic.Int64 // len(queue) mirror; stores under mu only
+
+	max       int   // Config.MaxInflight (0 = unlimited)
 	policy    AdmissionPolicy
 	quota     int64 // Config.TenantQuotaPages (0 = unlimited)
 	reserve   int64 // pages one inflight job reserves (Config.StackPages)
@@ -158,7 +300,7 @@ type admitState struct {
 // fitsLocked reports whether one more job from tenant fits the inflight
 // bound and the tenant's page budget.
 func (a *admitState) fitsLocked(tenant string) bool {
-	if a.max > 0 && a.inflight >= a.max {
+	if a.max > 0 && a.inflight.Load() >= int64(a.max) {
 		return false
 	}
 	if a.quota > 0 && a.tenants[tenant]+a.reserve > a.quota {
@@ -169,7 +311,7 @@ func (a *admitState) fitsLocked(tenant string) bool {
 
 // admitLocked reserves capacity for j.
 func (a *admitState) admitLocked(j *Job) {
-	a.inflight++
+	a.inflight.Add(1)
 	if a.quota > 0 {
 		if a.tenants == nil {
 			a.tenants = make(map[string]int64)
@@ -180,7 +322,7 @@ func (a *admitState) admitLocked(j *Job) {
 
 // releaseLocked returns j's reservation.
 func (a *admitState) releaseLocked(j *Job) {
-	a.inflight--
+	a.inflight.Add(-1)
 	if a.quota > 0 {
 		if r := a.tenants[j.tenant] - a.reserve; r > 0 {
 			a.tenants[j.tenant] = r
@@ -210,58 +352,19 @@ func (a *admitState) promoteLocked() []*Job {
 		return nil
 	}
 	a.queue = rest
+	a.qlen.Store(int64(len(a.queue)))
 	return admitted
 }
 
 // checkDrainedLocked closes the drain gate once a closing runtime has no
 // inflight or queued jobs left.
 func (a *admitState) checkDrainedLocked() {
-	if a.state == lifeClosing && a.inflight == 0 && len(a.queue) == 0 &&
-		a.drained != nil && !a.drainDone {
+	if lifeState(a.life.Load()) == lifeClosing && a.inflight.Load() == 0 &&
+		len(a.queue) == 0 && a.drained != nil && !a.drainDone {
 		a.drainDone = true
 		close(a.drained)
 	}
 }
-
-// rootQueue is the FIFO of admitted roots awaiting a worker. It is
-// deliberately separate from looseQueue: loose tasks are already-claimed,
-// already-counted *steals*, while roots are new computations that must not
-// perturb the steal counters or the trace-reconciliation laws.
-type rootQueue struct {
-	mu sync.Mutex
-	n  atomic.Int64
-	js []*Job
-}
-
-// push appends j. Callers wake the park lot afterwards, mirroring Fork's
-// publish-then-wake Dekker pair, so a parked thief cannot miss the root.
-func (q *rootQueue) push(j *Job) {
-	q.mu.Lock()
-	q.js = append(q.js, j)
-	q.n.Store(int64(len(q.js)))
-	q.mu.Unlock()
-}
-
-// pop removes the oldest root. The n.Load fast path keeps the empty case
-// (every failed steal sweep ends here) at one atomic read.
-func (q *rootQueue) pop() (*Job, bool) {
-	if q.n.Load() == 0 {
-		return nil, false
-	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.js) == 0 {
-		return nil, false
-	}
-	j := q.js[0]
-	q.js[0] = nil
-	q.js = q.js[1:]
-	q.n.Store(int64(len(q.js)))
-	return j, true
-}
-
-// len reports the queue length (racy snapshot, exact at quiescence).
-func (q *rootQueue) len() int { return int(q.n.Load()) }
 
 // Start transitions the runtime from idle to serving: the park lot opens
 // and every worker slot spins up a persistent thief goroutine that parks
@@ -280,7 +383,7 @@ func (rt *Runtime) Start() {
 func (rt *Runtime) ensureStarted() bool {
 	a := &rt.admit
 	a.mu.Lock()
-	switch a.state {
+	switch lifeState(a.life.Load()) {
 	case lifeServing:
 		a.mu.Unlock()
 		return false
@@ -288,7 +391,7 @@ func (rt *Runtime) ensureStarted() bool {
 		a.mu.Unlock()
 		panic("core: Start while the Runtime is closing")
 	}
-	a.state = lifeServing
+	a.life.Store(int32(lifeServing))
 	a.mu.Unlock()
 
 	rt.done.Store(false)
@@ -301,6 +404,34 @@ func (rt *Runtime) ensureStarted() bool {
 		go rt.thiefLoop(slot)
 	}
 	return true
+}
+
+// newJob builds (or recycles) the Job for one submission. Under
+// IntakeSharded the submit-time clock read exists only when a sink
+// consumes KindJobDone — untraced serving pays no time.Now per job — and
+// the wait channel stays unallocated until someone blocks on the handle.
+// The IntakeMutex baseline keeps the PR 8 costs exactly: unconditional
+// timestamp and an eager done channel per submission.
+func (rt *Runtime) newJob(tenant string, root func(*W)) *Job {
+	id := uint64(rt.jobsSubmitted.Add(1))
+	j := rt.subq.getJob(id)
+	if j == nil {
+		j = &Job{}
+	}
+	j.rt = rt
+	j.id = id
+	j.tenant = tenant
+	j.root = root
+	if rt.fastIntake {
+		if rt.stampJobs {
+			j.submitted = time.Now()
+		}
+	} else {
+		j.submitted = time.Now()
+		ch := make(chan struct{})
+		j.donep.Store(&ch)
+	}
+	return j
 }
 
 // Submit injects root as an independent top-level computation under the
@@ -317,17 +448,83 @@ func (rt *Runtime) Submit(root func(*W)) *Job {
 // Job is already complete with Err set; under AdmitQueue it waits in the
 // admission queue. Submit panics on an idle runtime — call Start first (or
 // use Run, which manages the lifecycle itself).
+//
+// With IntakeSharded (default), no tenant quotas, and an empty admission
+// queue, the whole admission decision is lock-free: one CAS reserves an
+// inflight slot (one plain Add when MaxInflight is 0), and a full
+// AdmitShed rejection touches no admission state at all. The admission
+// mutex is taken only for queueing, promotion, tenant budgets, and
+// submissions racing a lifecycle transition.
 func (rt *Runtime) SubmitTenant(tenant string, root func(*W)) *Job {
-	j := &Job{
-		id:        uint64(rt.jobsSubmitted.Add(1)),
-		tenant:    tenant,
-		root:      root,
-		submitted: time.Now(),
-		done:      make(chan struct{}),
+	j := rt.newJob(tenant, root)
+	if rt.fastIntake && rt.admit.quota == 0 && rt.submitFast(j) {
+		return j
 	}
+	return rt.submitSlow(j)
+}
+
+// submitFast is the lock-free admission attempt, reporting whether the
+// submission was fully resolved (admitted or shed). The interleavings:
+//
+//   - Against Close: the slot reservation (Add/CAS) is published before
+//     the lifecycle re-check below; Close stores lifeClosing before
+//     reading inflight (both under SC atomics). If the re-check still
+//     reads lifeServing, Close's read is ordered after the reservation
+//     and waits for this job; if it reads lifeClosing, the reservation is
+//     rolled back under the mutex, where checkDrainedLocked releases a
+//     Close that observed the transient slot.
+//   - Against queued jobs: the qlen check keeps FIFO fairness — the fast
+//     path stands down whenever the admission queue is visibly non-empty,
+//     and the enqueue path publishes qlen before re-running promotion, so
+//     a freed slot is never hidden from a queued job (see submitSlow).
+//   - The lock-free shed (policy AdmitShed, inflight full) mutates no
+//     admission state: it reads inflight once and rejects, exactly as the
+//     mutex path would have, and a race with a concurrent completion at
+//     worst sheds a job that would have fit a microsecond later — the
+//     same nondeterminism the locked path already had.
+func (rt *Runtime) submitFast(j *Job) bool {
+	a := &rt.admit
+	if lifeState(a.life.Load()) != lifeServing || a.qlen.Load() != 0 {
+		return false
+	}
+	if a.max > 0 {
+		for {
+			n := a.inflight.Load()
+			if n >= int64(a.max) {
+				if a.policy == AdmitShed {
+					rt.jobsShed.Add(1)
+					rt.finishRejected(j, ErrShed)
+					return true
+				}
+				return false // AdmitQueue: the mutex path enqueues
+			}
+			if a.inflight.CompareAndSwap(n, n+1) {
+				break
+			}
+		}
+	} else {
+		a.inflight.Add(1)
+	}
+	if lifeState(a.life.Load()) != lifeServing {
+		// Raced a lifecycle transition: undo the reservation and let the
+		// mutex path resolve the submission against the settled state.
+		a.mu.Lock()
+		a.inflight.Add(-1)
+		a.checkDrainedLocked()
+		a.mu.Unlock()
+		return false
+	}
+	rt.dispatch(j)
+	return true
+}
+
+// submitSlow is the mutex admission path: lifecycle checks, tenant
+// budgets, queueing and shedding — everything the fast path cannot decide
+// with a CAS.
+func (rt *Runtime) submitSlow(j *Job) *Job {
 	a := &rt.admit
 	a.mu.Lock()
-	switch a.state {
+	switch lifeState(a.life.Load()) {
 	case lifeIdle:
 		a.mu.Unlock()
 		panic("core: Submit on an idle Runtime (call Start first)")
@@ -337,7 +534,7 @@ func (rt *Runtime) SubmitTenant(tenant string, root func(*W)) *Job {
 		rt.finishRejected(j, ErrClosed)
 		return j
 	}
-	if !a.fitsLocked(tenant) {
+	if !a.fitsLocked(j.tenant) {
 		if a.policy == AdmitShed {
 			a.mu.Unlock()
 			rt.jobsShed.Add(1)
@@ -345,7 +542,17 @@ func (rt *Runtime) SubmitTenant(tenant string, root func(*W)) *Job {
 			return j
 		}
 		a.queue = append(a.queue, j)
+		a.qlen.Store(int64(len(a.queue)))
+		// A lock-free completion may have freed capacity between the fits
+		// check and this enqueue (its release takes no mutex). Re-running
+		// promotion here closes that Dekker pair: the completer either
+		// read qlen != 0 and will promote under the mutex, or its
+		// decrement is ordered before this promotion's inflight read.
+		promoted := a.promoteLocked()
 		a.mu.Unlock()
+		for _, q := range promoted {
+			rt.dispatch(q)
+		}
 		return j
 	}
 	a.admitLocked(j)
@@ -354,10 +561,12 @@ func (rt *Runtime) SubmitTenant(tenant string, root func(*W)) *Job {
 	return j
 }
 
-// dispatch hands an admitted job to the scheduler: push on the root FIFO
-// and wake a parked thief (publish-then-wake, the same lost-wakeup-free
-// Dekker pair Fork uses). The goroutine baseline is slotless, so each root
-// gets a goroutine with its own pooled stack instead.
+// dispatch hands an admitted job to the scheduler: push on the root
+// intake and wake a single parked thief — publish-then-wake, the same
+// lost-wakeup-free Dekker pair Fork uses, and one root wakes one thief
+// (the IntakeMutex baseline keeps PR 8's broadcast). The goroutine
+// baseline is slotless, so each root gets a goroutine with its own pooled
+// stack instead.
 func (rt *Runtime) dispatch(j *Job) {
 	rt.jobsAdmitted.Add(1)
 	if rt.cfg.Strategy == StrategyGoroutine {
@@ -372,16 +581,23 @@ func (rt *Runtime) dispatch(j *Job) {
 		return
 	}
 	rt.subq.push(j)
-	rt.park.wake()
+	if rt.fastIntake {
+		rt.park.wake(1)
+	} else {
+		rt.park.wakeAll()
+	}
 }
 
-// nextRoot claims the oldest submitted root as a task, if any. Called by
-// thieves only after a full steal sweep failed: stolen work (continuing an
-// in-flight computation, draining its suspended stacks) takes priority
-// over opening a new root, which keeps the live-root set — and with it the
-// space bound's P multiplier — as small as the load allows.
-func (rt *Runtime) nextRoot() (task, bool) {
-	j, ok := rt.subq.pop()
+// nextRoot claims the oldest submitted root (oldest in the shard the
+// sweep reaches first) as a task, if any. Called by thieves only after a
+// full steal sweep failed: stolen work (continuing an in-flight
+// computation, draining its suspended stacks) takes priority over opening
+// a new root, which keeps the live-root set — and with it the space
+// bound's P multiplier — as small as the load allows. self spreads
+// concurrent drains across intake shards (each thief starts at its own
+// slot's shard).
+func (rt *Runtime) nextRoot(self int) (task, bool) {
+	j, ok := rt.subq.pop(self)
 	if !ok {
 		return task{}, false
 	}
@@ -391,8 +607,12 @@ func (rt *Runtime) nextRoot() (task, bool) {
 // completeJob finishes j after its root returned (or panicked): stamp the
 // completion rank, surface a captured panic as the job error, emit the
 // request-latency event, release the admission reservation (promoting
-// queued jobs that now fit), and only then publish the stats snapshot and
-// close the done channel.
+// queued jobs that now fit), and only then publish completion. On the
+// lock-free path the release is one atomic decrement; the mutex is taken
+// only when a queued job may be waiting on the freed slot or a Close may
+// be waiting on the drain gate. The Stats snapshot PR 8 took here is gone
+// — it is computed lazily on first Wait (the IntakeMutex baseline keeps
+// the eager snapshot).
 func (rt *Runtime) completeJob(slot int, j *Job) {
 	if j.tp != nil {
 		j.err = j.tp
@@ -404,17 +624,42 @@ func (rt *Runtime) completeJob(slot int, j *Job) {
 	}
 
 	a := &rt.admit
+	if rt.fastIntake && a.quota == 0 {
+		a.inflight.Add(-1)
+		// The decrement above is published before these loads; the
+		// enqueue path stores qlen (and Close stores lifeClosing) before
+		// re-reading inflight. Whichever side loses the race sees the
+		// other, so a freed slot is never hidden from a queued job and a
+		// drain gate never misses its last completion.
+		if a.qlen.Load() != 0 || lifeState(a.life.Load()) == lifeClosing {
+			rt.releaseSlow(nil)
+		}
+	} else {
+		rt.releaseSlow(j)
+	}
+
+	if !rt.fastIntake {
+		j.stats = rt.Stats() // PR 8 parity: eager snapshot at completion
+		j.statsOK = true
+	}
+	j.finish()
+}
+
+// releaseSlow is the mutex half of completion: return j's reservation
+// (nil when the lock-free path already dropped it), promote queued jobs
+// that now fit, and check the drain gate.
+func (rt *Runtime) releaseSlow(j *Job) {
+	a := &rt.admit
 	a.mu.Lock()
-	a.releaseLocked(j)
+	if j != nil {
+		a.releaseLocked(j)
+	}
 	promoted := a.promoteLocked()
 	a.checkDrainedLocked()
 	a.mu.Unlock()
 	for _, q := range promoted {
 		rt.dispatch(q)
 	}
-
-	j.stats = rt.Stats()
-	close(j.done)
 }
 
 // finishRejected completes a job that admission never ran (shed, drained,
@@ -422,8 +667,11 @@ func (rt *Runtime) completeJob(slot int, j *Job) {
 func (rt *Runtime) finishRejected(j *Job, err error) {
 	j.err = err
 	j.seq = uint64(rt.jobSeq.Add(1))
-	j.stats = rt.Stats()
-	close(j.done)
+	if !rt.fastIntake {
+		j.stats = rt.Stats()
+		j.statsOK = true
+	}
+	j.finish()
 }
 
 // Close drains the runtime and returns it to idle: no new submissions are
@@ -441,7 +689,7 @@ func (rt *Runtime) finishRejected(j *Job, err error) {
 func (rt *Runtime) Close(ctx context.Context) error {
 	a := &rt.admit
 	a.mu.Lock()
-	switch a.state {
+	switch lifeState(a.life.Load()) {
 	case lifeIdle:
 		a.mu.Unlock()
 		return nil
@@ -449,9 +697,14 @@ func (rt *Runtime) Close(ctx context.Context) error {
 		a.mu.Unlock()
 		panic("core: concurrent Close calls on one Runtime")
 	}
-	a.state = lifeClosing
+	// Dekker with submitFast: the closing store is published before the
+	// inflight read below. A fast submission that reserved its slot
+	// before this store is visible here — Close waits for it; one that
+	// re-checks the lifecycle after it rolls the reservation back and
+	// rings the drain gate.
+	a.life.Store(int32(lifeClosing))
 	var drained chan struct{}
-	if a.inflight > 0 || len(a.queue) > 0 {
+	if a.inflight.Load() > 0 || len(a.queue) > 0 {
 		drained = make(chan struct{})
 		a.drained = drained
 		a.drainDone = false
@@ -487,7 +740,7 @@ func (rt *Runtime) Close(ctx context.Context) error {
 	rt.pool.Reopen()
 
 	a.mu.Lock()
-	a.state = lifeIdle
+	a.life.Store(int32(lifeIdle))
 	a.drained = nil
 	a.mu.Unlock()
 	return err
@@ -502,6 +755,7 @@ func (rt *Runtime) abandonQueued() {
 	a.mu.Lock()
 	dropped := a.queue
 	a.queue = nil
+	a.qlen.Store(0)
 	a.checkDrainedLocked()
 	a.mu.Unlock()
 	for _, j := range dropped {
@@ -513,17 +767,12 @@ func (rt *Runtime) abandonQueued() {
 // InflightJobs returns the number of admitted, not-yet-completed Jobs
 // (racy snapshot; 0 at quiescence).
 func (rt *Runtime) InflightJobs() int {
-	rt.admit.mu.Lock()
-	defer rt.admit.mu.Unlock()
-	return rt.admit.inflight
+	return int(rt.admit.inflight.Load())
 }
 
 // QueuedJobs returns the number of Jobs waiting for admission plus
 // admitted roots not yet picked up by a worker (racy snapshot; 0 at
 // quiescence).
 func (rt *Runtime) QueuedJobs() int {
-	rt.admit.mu.Lock()
-	n := len(rt.admit.queue)
-	rt.admit.mu.Unlock()
-	return n + rt.subq.len()
+	return int(rt.admit.qlen.Load()) + rt.subq.len()
 }

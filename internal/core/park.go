@@ -6,25 +6,42 @@ import (
 )
 
 // parkLot is the quiet end of the thief backoff ladder: a thief that has
-// spun and yielded through repeated empty sweeps parks here, and the next
-// Fork wakes every parked thief. This replaces the unbounded Gosched spin
+// spun and yielded through repeated empty sweeps parks here, and every
+// publication of new work (a Fork, a dispatched root, shared StealHalf
+// loot) wakes parked thieves. This replaces the unbounded Gosched spin
 // that burned a full core per idle thief, while preserving busy-leaves:
-// whenever work exists (every unit of queued work was published by a Fork,
-// and every Fork calls wake), no thief stays parked.
+// whenever work exists (every unit of queued work was published by a Fork
+// or a Submit, and every publish calls wake), no thief stays parked.
 //
-// The lost-wakeup argument is a Dekker pair. A parking thief registers
-// itself (nparked++) and only then runs one final steal sweep; a forker
-// publishes the task (deque push) and only then reads nparked. Under Go's
-// sequentially-consistent atomics it is impossible for the final sweep to
-// miss the push AND the forker to miss the registration, so either the
-// thief leaves with the task or the forker broadcasts — and the broadcast
-// serializes with the thief's mutex section, so it cannot fall between the
-// final sweep and the sleep.
+// Wake-one. wake(n) deposits up to n wake tokens — never more than there
+// are sleepers without one — and Signals once per token, so publishing a
+// single task wakes a single thief instead of stampeding every idle
+// worker through one cond.Broadcast (the thundering herd a serving
+// runtime pays on every Submit). wakeAll keeps the broadcast for the
+// cases that really do make everyone runnable: close/teardown and
+// StealHalf loot bursts that publish several tasks at once.
+//
+// The lost-wakeup argument is still a Dekker pair. A parking thief
+// registers itself (nparked++) and only then runs one final steal sweep;
+// a publisher makes the work visible (deque push, intake-shard link) and
+// only then reads nparked. Under Go's sequentially-consistent atomics it
+// is impossible for the final sweep to miss the publish AND the publisher
+// to miss the registration, so either the thief leaves with the task or
+// the publisher enters wake — and wake serializes with the thief's mutex
+// section, so a deposited token cannot fall between the final sweep and
+// the sleep. Wake-one adds one case to the argument: wake may find every
+// sleeper already holding a pending token (avail == 0) and deposit
+// nothing. That is safe because a token holder is committed to waking and
+// sweeping, and a thief can only re-park through another registered-then-
+// swept park call — whose final sweep runs after this publish and
+// therefore sees the task (or sees it already taken). Work is never
+// stranded behind a dropped wake; at worst a token is spent on a sweep
+// that finds the task already claimed.
 type parkLot struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	seq    uint64 // wake generation; guarded by mu
-	closed bool   // guarded by mu
+	tokens int  // pending wakes, <= nparked; guarded by mu
+	closed bool // guarded by mu
 
 	// nparked mirrors the number of sleepers for wake's lock-free fast
 	// check; it is only written with mu held.
@@ -41,6 +58,7 @@ func newParkLot() *parkLot {
 func (p *parkLot) open() {
 	p.mu.Lock()
 	p.closed = false
+	p.tokens = 0
 	p.mu.Unlock()
 }
 
@@ -60,23 +78,48 @@ func (p *parkLot) park(finalSweep func() (task, bool)) (task, bool) {
 		p.mu.Unlock()
 		return t, true
 	}
-	seq := p.seq
-	for p.seq == seq && !p.closed {
+	for p.tokens == 0 && !p.closed {
 		p.cond.Wait()
+	}
+	if p.tokens > 0 {
+		p.tokens--
 	}
 	p.nparked.Add(-1)
 	p.mu.Unlock()
 	return task{}, false
 }
 
-// wake unparks every parked thief. The fast path — nobody parked — is a
-// single atomic load, so Fork stays cheap while the system is busy.
-func (p *parkLot) wake() {
+// wake unparks up to n thieves — one per newly published task. The fast
+// path — nobody parked — is a single atomic load, so Fork and Submit stay
+// cheap while the system is busy. Tokens are capped at the number of
+// sleepers without one: a Signal beyond that has nobody new to reach, and
+// the uncapped count would make later sleepers burn through stale tokens.
+func (p *parkLot) wake(n int) {
 	if p.nparked.Load() == 0 {
 		return
 	}
 	p.mu.Lock()
-	p.seq++
+	if avail := int(p.nparked.Load()) - p.tokens; avail > 0 {
+		if n > avail {
+			n = avail
+		}
+		p.tokens += n
+		for i := 0; i < n; i++ {
+			p.cond.Signal()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// wakeAll unparks every parked thief — the broadcast retained for
+// multi-task publications (StealHalf loot bursts) where waking thieves
+// one Signal at a time would serialize the fan-out.
+func (p *parkLot) wakeAll() {
+	if p.nparked.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.tokens = int(p.nparked.Load())
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -86,7 +129,6 @@ func (p *parkLot) wake() {
 func (p *parkLot) close() {
 	p.mu.Lock()
 	p.closed = true
-	p.seq++
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }

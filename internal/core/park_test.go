@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -124,4 +125,118 @@ func TestParkedThievesWakeForLateWork(t *testing.T) {
 	if st := rt.Stats(); st.Steals == 0 {
 		t.Error("no steals after wake: parked thieves never rejoined the computation")
 	}
+}
+
+// TestSubmitAfterAllThievesParked is the wake-one lost-wakeup regression
+// on the dispatch path: with every thief parked, each Submit must wake
+// enough thieves to run the root AND the task it forks. The root blocks
+// inside the task it would run inline until a second thief runs the
+// other, so a dropped dispatch wake (or a fork wake swallowed by the
+// token cap) hangs the test. Both intake kinds run the same rounds — the
+// sharded push/wake(1) pair and the mutex baseline must be equally
+// lost-wakeup-free.
+func TestSubmitAfterAllThievesParked(t *testing.T) {
+	const workers = 4
+	for _, intake := range IntakeKinds() {
+		intake := intake
+		t.Run(intake.String(), func(t *testing.T) {
+			rt := NewRuntime(Config{Workers: workers, StackPages: 4096, Intake: intake})
+			rt.Start()
+			for round := 0; round < 25; round++ {
+				waitParked(t, rt, workers, 10*time.Second)
+				release := make(chan struct{})
+				j := rt.Submit(func(w *W) {
+					var fr Frame
+					w.Init(&fr)
+					// Forked first, so it sits at the TOP of the deque:
+					// only a woken thief can take it while the root's
+					// worker is stuck inside the blocker below.
+					w.Fork(&fr, func(*W) { close(release) })
+					w.Fork(&fr, func(*W) { <-release })
+					w.Join(&fr)
+				})
+				if err := j.Err(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				j.Release()
+			}
+			if err := rt.Close(context.Background()); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestWakeTokenCapNoStaleTokens unit-tests the token accounting that
+// makes wake-one safe: a wake burst larger than the sleeper population
+// must not bank surplus tokens, or a thief parking later would sail
+// straight through its sleep and busy-loop on an empty system.
+func TestWakeTokenCapNoStaleTokens(t *testing.T) {
+	p := newParkLot()
+	noSweep := func() (task, bool) { return task{}, false }
+	parkOne := func() chan struct{} {
+		ch := make(chan struct{})
+		go func() {
+			p.park(noSweep)
+			close(ch)
+		}()
+		return ch
+	}
+	waitSleepers := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for p.parked() != n {
+			if time.Now().After(deadline) {
+				t.Fatalf("parked() = %d, want %d", p.parked(), n)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	awaits := func(ch chan struct{}, what string) {
+		t.Helper()
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s never woke", what)
+		}
+	}
+
+	// Phase 1: one sleeper, wake(8). The cap must clamp the burst to one
+	// token — the sleeper wakes, and no token survives it.
+	first := parkOne()
+	waitSleepers(1)
+	p.wake(8)
+	awaits(first, "first sleeper after wake(8)")
+	waitSleepers(0)
+
+	// Phase 2: a fresh parker must actually sleep. If phase 1 banked
+	// surplus tokens this parker would return immediately.
+	second := parkOne()
+	waitSleepers(1)
+	select {
+	case <-second:
+		t.Fatal("second parker woke on a stale token from the wake(8) burst")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.wake(1)
+	awaits(second, "second sleeper after wake(1)")
+	waitSleepers(0)
+
+	// Phase 3: wakeAll releases every sleeper and, like the capped wake,
+	// leaves no residue behind.
+	a, b := parkOne(), parkOne()
+	waitSleepers(2)
+	p.wakeAll()
+	awaits(a, "sleeper a after wakeAll")
+	awaits(b, "sleeper b after wakeAll")
+	waitSleepers(0)
+	late := parkOne()
+	waitSleepers(1)
+	select {
+	case <-late:
+		t.Fatal("late parker woke on a stale token from wakeAll")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.close()
+	awaits(late, "late sleeper after close")
 }

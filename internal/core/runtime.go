@@ -209,6 +209,39 @@ func (k PoolKind) String() string {
 // PoolKinds lists every implemented pool kind, in presentation order.
 func PoolKinds() []PoolKind { return []PoolKind{PoolSharded, PoolGlobal} }
 
+// IntakeKind selects the serving-intake implementation behind
+// Submit/dispatch — see intake.go and job.go.
+type IntakeKind int
+
+const (
+	// IntakeSharded is the default: lock-free CAS admission on the
+	// quota-free path, per-shard MPSC root lists drained round-robin by
+	// thieves, pooled Job objects with lazily allocated wait channels,
+	// and wake-one parking. Submit is ≤2 allocations (0 steady-state).
+	IntakeSharded IntakeKind = iota
+	// IntakeMutex is the single-mutex PR 8 reference intake — one
+	// admission mutex, one mutex FIFO, a fresh Job + done channel and an
+	// unconditional clock read per Submit, an eager Stats snapshot per
+	// completion, and broadcast wakeups — kept for differential testing
+	// and as the submitpath experiment's baseline lane.
+	IntakeMutex
+)
+
+// String returns the intake kind's display name as used in benchmarks.
+func (k IntakeKind) String() string {
+	switch k {
+	case IntakeSharded:
+		return "sharded"
+	case IntakeMutex:
+		return "mutex"
+	default:
+		return fmt.Sprintf("IntakeKind(%d)", int(k))
+	}
+}
+
+// IntakeKinds lists every implemented intake kind, in presentation order.
+func IntakeKinds() []IntakeKind { return []IntakeKind{IntakeSharded, IntakeMutex} }
+
 // taskDeque abstracts over the deque implementations so every strategy —
 // including the restricted-stealing ones, which need StealIf — runs
 // unchanged on either. Push, Pop and LazyHint are owner-only; Steal,
@@ -293,6 +326,11 @@ type Config struct {
 	// MaxInflight or a tenant quota: AdmitQueue (default) parks it in an
 	// admission queue, AdmitShed rejects it with ErrShed.
 	Admission AdmissionPolicy
+	// Intake selects the serving-intake implementation. IntakeSharded
+	// (the default) gives Submit a lock-free, allocation-light fast path;
+	// IntakeMutex is the single-mutex reference kept for differential
+	// testing and benchmarking.
+	Intake IntakeKind
 	// TenantQuotaPages > 0 gives every tenant a budget of simulated stack
 	// pages, layered under MaxResidentPages: each inflight Job reserves
 	// StackPages (one worker stack's worth) against its tenant's budget at
@@ -423,12 +461,18 @@ type Runtime struct {
 
 	goroutineWG sync.WaitGroup // live worker goroutines (for Wait)
 
-	// Serving lifecycle (job.go): admission control + the FIFO of admitted
-	// roots awaiting a worker, plus runtime-wide job counters. The
-	// counters are plain atomics rather than shard members because
-	// submission is per-request work, never per-fork work.
+	// Serving lifecycle (job.go, intake.go): admission control + the
+	// intake of admitted roots awaiting a worker, plus runtime-wide job
+	// counters. The counters are plain atomics rather than shard members
+	// because submission is per-request, never per-fork, work — and the
+	// request path's serialization points are the counters' single cache
+	// lines, not locks. fastIntake caches Intake == IntakeSharded for the
+	// submit/complete hot paths; stampJobs caches whether any sink
+	// consumes KindJobDone, gating the per-job clock reads.
 	admit         admitState
-	subq          rootQueue
+	subq          rootIntake
+	fastIntake    bool
+	stampJobs     bool
 	jobsSubmitted atomic.Int64
 	jobsAdmitted  atomic.Int64
 	jobsShed      atomic.Int64
@@ -467,11 +511,16 @@ func NewRuntime(cfg Config) *Runtime {
 		rt.metrics = ms
 	}
 	rt.reclaim = newReclaimer(rt)
-	rt.admit = admitState{
-		max:     cfg.MaxInflight,
-		policy:  cfg.Admission,
-		quota:   cfg.TenantQuotaPages,
-		reserve: int64(cfg.StackPages),
+	rt.admit.max = cfg.MaxInflight
+	rt.admit.policy = cfg.Admission
+	rt.admit.quota = cfg.TenantQuotaPages
+	rt.admit.reserve = int64(cfg.StackPages)
+	rt.fastIntake = cfg.Intake == IntakeSharded
+	rt.stampJobs = rt.trc.Wants(trace.KindJobDone)
+	if rt.fastIntake {
+		rt.subq = newShardedIntake(cfg.Workers)
+	} else {
+		rt.subq = &mutexIntake{}
 	}
 	rt.workers = make([]*worker, cfg.Workers)
 	for i := range rt.workers {
@@ -584,7 +633,7 @@ func (rt *Runtime) thiefLoop(slot *worker) {
 		if t, ok := rt.steal(w, nil); ok {
 			return t, true
 		}
-		return rt.nextRoot()
+		return rt.nextRoot(slot.id)
 	}
 	fails := 0
 	for !rt.done.Load() {

@@ -272,8 +272,10 @@ func (rt *Runtime) takeBatch(w *W, victim *worker) (task, bool) {
 		rt.trc.Emit(w.slot.id, trace.KindSteal, int64(victim.id), 0)
 	}
 	if kept > 1 {
+		// A loot burst publishes several tasks at once — the one case
+		// (besides close) that keeps the broadcast wake.
 		rt.loose.put(buf[1:kept])
-		rt.park.wake()
+		rt.park.wakeAll()
 	}
 	return buf[0], true
 }

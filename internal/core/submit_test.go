@@ -441,3 +441,250 @@ func TestJobLatencyHistogram(t *testing.T) {
 		t.Errorf("p50=%d, want > 0", p50)
 	}
 }
+
+// TestConcurrentSubmitIntakeDifferential runs the concurrent-submission
+// acceptance shape on BOTH intake pipelines: real fork-join roots with a
+// panicking minority, eight submitters, full conservation at Close. The
+// sharded lane and the PR 8 mutex baseline must be observationally
+// identical here — only throughput may differ.
+func TestConcurrentSubmitIntakeDifferential(t *testing.T) {
+	for _, intake := range IntakeKinds() {
+		intake := intake
+		t.Run(intake.String(), func(t *testing.T) {
+			rt := NewRuntime(Config{Workers: 4, Intake: intake})
+			rt.Start()
+			const submitters, perSubmitter = 8, 3
+			jobs := make([]*Job, submitters*perSubmitter)
+			var wg sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for k := 0; k < perSubmitter; k++ {
+						i := s*perSubmitter + k
+						if i%5 == 0 {
+							jobs[i] = rt.Submit(func(*W) { panic(fmt.Sprintf("boom-%d", i)) })
+						} else {
+							jobs[i] = rt.Submit(submitFib(10))
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			seen := map[uint64]bool{}
+			for i, j := range jobs {
+				err := j.Err()
+				if i%5 == 0 {
+					var tp *TaskPanic
+					if !errors.As(err, &tp) || tp.Value != fmt.Sprintf("boom-%d", i) {
+						t.Fatalf("job %d: err=%v, want own panic", i, err)
+					}
+				} else if err != nil {
+					t.Fatalf("clean job %d: %v", i, err)
+				}
+				if seq := j.Seq(); seq == 0 || seen[seq] {
+					t.Errorf("job %d: seq %d not unique and 1-based", i, seq)
+				} else {
+					seen[seq] = true
+				}
+				j.Release()
+			}
+			if err := rt.Close(context.Background()); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			st := rt.Stats()
+			n := int64(submitters * perSubmitter)
+			if st.JobsSubmitted != n || st.JobsAdmitted != n || st.JobsCompleted != n {
+				t.Errorf("conservation: submitted=%d admitted=%d completed=%d, want %d each",
+					st.JobsSubmitted, st.JobsAdmitted, st.JobsCompleted, n)
+			}
+			if st.JobsShed != 0 || st.JobsDrained != 0 {
+				t.Errorf("shed=%d drained=%d, want 0/0", st.JobsShed, st.JobsDrained)
+			}
+		})
+	}
+}
+
+// TestJobPoolRecycles pins the Release → Submit recycling loop: on the
+// sharded intake, sequentially submitting and releasing must start
+// handing back previously released handles (pointer reuse), and a reused
+// handle must behave like a fresh one — new ID, clean Err, fresh Seq.
+func TestJobPoolRecycles(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4})
+	rt.Start()
+	defer rt.Close(context.Background())
+
+	const rounds = 64
+	seenPtr := make(map[*Job]int, rounds)
+	reused := 0
+	var lastID uint64
+	for i := 0; i < rounds; i++ {
+		j := rt.Submit(func(*W) {})
+		if prev, ok := seenPtr[j]; ok {
+			reused++
+			_ = prev
+		}
+		seenPtr[j] = i
+		if err := j.Err(); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if id := j.ID(); id <= lastID {
+			t.Fatalf("round %d: ID %d not fresh (last %d) — stale pool reset", i, id, lastID)
+		} else {
+			lastID = id
+		}
+		j.Release()
+	}
+	if reused == 0 {
+		t.Errorf("no Job handle was recycled across %d sequential submit/release rounds", rounds)
+	}
+}
+
+// TestLazyStatsOnWait pins satellite (a): on the fast intake the
+// completion path must NOT aggregate a Stats snapshot — it is computed on
+// the first Wait and cached — while the mutex baseline keeps PR 8's eager
+// capture. White-box: statsOK is only ever set by the completer (legacy)
+// or under statsMu (lazy), so reading it after Err is race-free.
+func TestLazyStatsOnWait(t *testing.T) {
+	for _, intake := range IntakeKinds() {
+		intake := intake
+		t.Run(intake.String(), func(t *testing.T) {
+			rt := NewRuntime(Config{Workers: 2, Intake: intake})
+			rt.Start()
+			defer rt.Close(context.Background())
+			j := rt.Submit(func(*W) {})
+			if err := j.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if eager := intake == IntakeMutex; j.statsOK != eager {
+				t.Fatalf("statsOK=%v after completion, want %v for %v intake", j.statsOK, eager, intake)
+			}
+			s1 := j.Wait()
+			if !j.statsOK {
+				t.Fatal("statsOK still false after Wait")
+			}
+			if s1.JobsCompleted < 1 {
+				t.Fatalf("Wait snapshot JobsCompleted=%d, want >=1", s1.JobsCompleted)
+			}
+			if s2 := j.Wait(); s2 != s1 {
+				t.Fatalf("second Wait returned a different snapshot: %+v vs %+v", s2, s1)
+			}
+		})
+	}
+}
+
+// TestCloseRacesFastSubmit hammers the submitFast ↔ Close Dekker pair:
+// eight goroutines submit tiny roots while Close lands mid-stream. Every
+// job must resolve (nil, ErrClosed, or ErrDrained), and the conservation
+// law Submitted == Shed + Drained + Completed must hold exactly — a
+// submission slipping past the closing life state would break it.
+func TestCloseRacesFastSubmit(t *testing.T) {
+	for _, intake := range IntakeKinds() {
+		intake := intake
+		t.Run(intake.String(), func(t *testing.T) {
+			rt := NewRuntime(Config{Workers: 4, Intake: intake})
+			rt.Start()
+			const submitters, per = 8, 100
+			jobs := make([]*Job, submitters*per)
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for s := 0; s < submitters; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					<-start
+					for k := 0; k < per; k++ {
+						jobs[s*per+k] = rt.Submit(func(*W) {})
+					}
+				}(s)
+			}
+			close(start)
+			time.Sleep(200 * time.Microsecond)
+			if err := rt.Close(context.Background()); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			wg.Wait()
+			for i, j := range jobs {
+				switch err := j.Err(); err {
+				case nil, ErrClosed, ErrDrained:
+				default:
+					t.Fatalf("job %d: unexpected err %v", i, err)
+				}
+			}
+			st := rt.Stats()
+			total := int64(submitters * per)
+			if st.JobsSubmitted != total {
+				t.Fatalf("JobsSubmitted=%d, want %d", st.JobsSubmitted, total)
+			}
+			if st.JobsSubmitted != st.JobsShed+st.JobsDrained+st.JobsCompleted {
+				t.Fatalf("conservation broken: submitted=%d != shed=%d + drained=%d + completed=%d",
+					st.JobsSubmitted, st.JobsShed, st.JobsDrained, st.JobsCompleted)
+			}
+			if st.JobsAdmitted != st.JobsCompleted {
+				t.Fatalf("JobsAdmitted=%d != JobsCompleted=%d after Close", st.JobsAdmitted, st.JobsCompleted)
+			}
+			if inf := rt.InflightJobs(); inf != 0 {
+				t.Fatalf("InflightJobs=%d after Close", inf)
+			}
+		})
+	}
+}
+
+// TestDoneLazyChannel pins the lazy wait-channel protocol: a completed
+// job's Done returns the shared pre-closed channel with zero allocations,
+// and a channel obtained BEFORE completion is still closed by it.
+func TestDoneLazyChannel(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2})
+	rt.Start()
+	defer rt.Close(context.Background())
+
+	// Early Done: channel allocated by the waiter, closed by completion.
+	gate := make(chan struct{})
+	j := rt.Submit(func(*W) { <-gate })
+	early := j.Done()
+	select {
+	case <-early:
+		t.Fatal("Done closed before the root finished")
+	default:
+	}
+	close(gate)
+	select {
+	case <-early:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-completion Done channel never closed")
+	}
+
+	// Late Done: already complete — the shared closed channel, no allocs.
+	if allocs := testing.AllocsPerRun(100, func() {
+		<-j.Done()
+	}); allocs != 0 {
+		t.Errorf("Done on a completed job allocates %.1f/op, want 0", allocs)
+	}
+	j.Release()
+}
+
+// TestReleaseIncompletePanics pins the Release contract: recycling a
+// handle whose job is still running must panic rather than hand a live
+// Job to the pool.
+func TestReleaseIncompletePanics(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2})
+	rt.Start()
+	gate := make(chan struct{})
+	j := rt.Submit(func(*W) { <-gate })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Release of an incomplete Job did not panic")
+			}
+		}()
+		j.Release()
+	}()
+	close(gate)
+	if err := j.Err(); err != nil {
+		t.Fatalf("Err after failed Release: %v", err)
+	}
+	j.Release()
+	if err := rt.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

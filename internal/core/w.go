@@ -74,7 +74,7 @@ func (w *W) ForkSized(f *Frame, bytes int, fn func(*W)) {
 	// A parked thief must be woken by any Fork so exactly P slots stay
 	// runnable whenever work exists (busy leaves). One atomic load when
 	// nobody is parked.
-	w.rt.park.wake()
+	w.rt.park.wake(1)
 }
 
 // ForkArg forks fn with an argument pointer instead of a closure — the
@@ -102,7 +102,7 @@ func (w *W) ForkArgSized(f *Frame, bytes int, fn func(*W, unsafe.Pointer), arg u
 		return
 	}
 	w.slot.deque.Push(t)
-	w.rt.park.wake()
+	w.rt.park.wake(1)
 }
 
 // forkSlow is the out-of-line tail of the fork path for the strategies
@@ -144,7 +144,7 @@ func (w *W) forkSlow(f *Frame, t task) {
 		return
 	}
 	w.slot.deque.Push(t)
-	w.rt.park.wake()
+	w.rt.park.wake(1)
 }
 
 // ShouldSplit reports whether publishing more parallelism right now could

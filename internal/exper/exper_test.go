@@ -249,3 +249,34 @@ func TestForkPathRowsAndSpeedups(t *testing.T) {
 		t.Errorf("lazy forks %d vs eager %d: want lazy << eager", lazy.Forks, eager.Forks)
 	}
 }
+
+// TestSubmitPathShedLane runs the submitpath experiment's gate lane at
+// unit-test scale on both intake pipelines: the shed lane must be
+// deterministic (every measured submission shed), conservation must hold
+// on the row's own counters, and the sharded pipeline must stay within
+// its ≤2 allocs/Submit budget. The timing ratio itself is gated by the
+// CI smoke over the full-scale JSON, not here.
+func TestSubmitPathShedLane(t *testing.T) {
+	for _, intake := range core.IntakeKinds() {
+		intake := intake
+		t.Run(intake.String(), func(t *testing.T) {
+			row := submitPathLeg(Options{}.withDefaults(), intake, "shed", "noop", 8, 4, 2048, 2)
+			if row.Shed < int64(row.Requests) {
+				t.Fatalf("shed=%d < requests=%d: lane not deterministic", row.Shed, row.Requests)
+			}
+			if row.Submitted != row.Shed+row.Drained+row.Completed {
+				t.Fatalf("conservation: submitted=%d != shed=%d + drained=%d + completed=%d",
+					row.Submitted, row.Shed, row.Drained, row.Completed)
+			}
+			if row.Admitted != row.Completed {
+				t.Fatalf("admitted=%d != completed=%d", row.Admitted, row.Completed)
+			}
+			if intake == core.IntakeSharded && row.AllocsPerOp > 2 {
+				t.Fatalf("sharded shed lane allocates %.2f/submit, want <= 2", row.AllocsPerOp)
+			}
+			if row.JobsPerSec <= 0 {
+				t.Fatalf("JobsPerSec=%f", row.JobsPerSec)
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+package exper
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fibril/internal/core"
+	"fibril/internal/table"
+)
+
+// The submitpath experiment: serving-intake throughput as the submitter
+// count grows, sharded CAS pipeline vs the single-mutex PR 8 baseline.
+// Two lanes isolate the two costs that matter:
+//
+//   - the SHED lane saturates MaxInflight with blocker jobs under
+//     AdmitShed, so every measured Submit resolves on the submitter's own
+//     goroutine — no scheduling, no completion machinery, just the intake
+//     path itself (admission decision, Job acquisition, result publish).
+//     This is the lane the ≥3× CI gate reads: it measures per-op submit
+//     work, so the ratio is host- and core-count-independent.
+//   - the QUEUE lane is the end-to-end closed loop (Submit, wait,
+//     Release) under unbounded admission, with both a noop root and a
+//     small fork-join root (fib 10), showing what the intake win is worth
+//     once real scheduling sits behind it.
+//
+// Allocations per Submit come from the process-wide malloc counter over
+// the measured region, so they include everything the path touches —
+// the pooled fast lane must keep the shed figure at zero.
+
+// SubmitPathRow is one measurement, shaped for -json and the committed
+// results/BENCH_submitpath.json.
+type SubmitPathRow struct {
+	Intake      string  `json:"intake"` // sharded | mutex
+	Lane        string  `json:"lane"`   // shed | queue
+	Root        string  `json:"root"`   // noop | fib10
+	Submitters  int     `json:"submitters"`
+	Workers     int     `json:"p"`
+	Requests    int     `json:"requests"` // measured submissions
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	NsPerSubmit float64 `json:"ns_per_submit"`
+	AllocsPerOp float64 `json:"allocs_per_submit"`
+	Submitted   int64   `json:"submitted"`
+	Admitted    int64   `json:"admitted"`
+	Completed   int64   `json:"completed"`
+	Shed        int64   `json:"shed"`
+	Drained     int64   `json:"drained"`
+}
+
+// submitFibExper is the queue lane's fork-join root (~170 tasks).
+func submitFibExper(w *core.W, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var fr core.Frame
+	w.Init(&fr)
+	var a, b int64
+	w.Fork(&fr, func(w *core.W) { submitFibExper(w, n-1, &a) })
+	w.Call(func(w *core.W) { submitFibExper(w, n-2, &b) })
+	w.Join(&fr)
+	*out = a + b
+}
+
+func submitNoop(*core.W) {}
+
+func submitFib10(w *core.W) {
+	var out int64
+	submitFibExper(w, 10, &out)
+}
+
+// submitPathLeg runs one (intake, lane, root, submitters) cell: reps
+// timed passes of total submissions split over k submitter goroutines,
+// keeping the best pass for the rate (the usual best-of-N discipline for
+// microbenchmarks) and the malloc delta of the LAST pass for allocs/op
+// (pools are warmest there).
+func submitPathLeg(o Options, intake core.IntakeKind, lane string, rootName string,
+	k, workers, total, reps int) SubmitPathRow {
+
+	root := submitNoop
+	if rootName == "fib10" {
+		root = submitFib10
+	}
+	m := total / k
+	cfg := core.Config{Workers: workers, Intake: intake}
+	shed := lane == "shed"
+	if shed {
+		cfg.MaxInflight = workers
+		cfg.Admission = core.AdmitShed
+	}
+	rt := o.newRuntime(cfg)
+	rt.Start()
+	var gate chan struct{}
+	var blockers []*core.Job
+	if shed {
+		// Saturate admission so every measured Submit sheds
+		// deterministically on the caller's goroutine.
+		gate = make(chan struct{})
+		for i := 0; i < workers; i++ {
+			blockers = append(blockers, rt.Submit(func(*core.W) { <-gate }))
+		}
+		if err := rt.Submit(submitNoop).Err(); err != core.ErrShed {
+			panic(fmt.Sprintf("exper: submitpath shed probe: got %v, want ErrShed", err))
+		}
+	}
+
+	pass := func() (time.Duration, uint64) {
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for s := 0; s < k; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < m; i++ {
+					j := rt.Submit(root)
+					if err := j.Err(); shed && err != core.ErrShed {
+						panic(fmt.Sprintf("exper: submitpath shed lane: got %v", err))
+					} else if !shed && err != nil {
+						panic(fmt.Sprintf("exper: submitpath queue lane: %v", err))
+					}
+					j.Release()
+				}
+			}()
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		close(start)
+		wg.Wait()
+		el := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		return el, ms1.Mallocs - ms0.Mallocs
+	}
+
+	// Warm the Job pools and the worker set outside the measurement.
+	warm := total / 4
+	if warm > 512 {
+		warm = 512
+	}
+	for i := 0; i < warm; i++ {
+		j := rt.Submit(root)
+		j.Err()
+		j.Release()
+	}
+
+	best := time.Duration(0)
+	var mallocs uint64
+	for r := 0; r < reps; r++ {
+		el, ma := pass()
+		if best == 0 || el < best {
+			best = el
+		}
+		mallocs = ma
+	}
+
+	if shed {
+		close(gate)
+		for _, b := range blockers {
+			if err := b.Err(); err != nil {
+				panic(fmt.Sprintf("exper: submitpath blocker: %v", err))
+			}
+		}
+	}
+	if err := rt.Close(context.Background()); err != nil {
+		panic(fmt.Sprintf("exper: submitpath close: %v", err))
+	}
+	st := rt.Stats()
+	ops := k * m
+	return SubmitPathRow{
+		Intake:      intake.String(),
+		Lane:        lane,
+		Root:        rootName,
+		Submitters:  k,
+		Workers:     workers,
+		Requests:    ops,
+		JobsPerSec:  float64(ops) / best.Seconds(),
+		NsPerSubmit: float64(best.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(mallocs) / float64(ops),
+		Submitted:   st.JobsSubmitted,
+		Admitted:    st.JobsAdmitted,
+		Completed:   st.JobsCompleted,
+		Shed:        st.JobsShed,
+		Drained:     st.JobsDrained,
+	}
+}
+
+// SubmitPath runs the full sweep and renders the table. Row order is the
+// sweep order: lane, then intake, then root, then submitter count.
+func SubmitPath(o Options) ([]SubmitPathRow, *table.Table) {
+	o = o.withDefaults()
+	workers := o.Workers
+	if workers == 0 {
+		workers = 4
+	}
+	total, reps := 16384, 3
+	if o.Full {
+		total, reps = 65536, 5
+	}
+	submitters := []int{1, 2, 4, 8, 16}
+
+	t := &table.Table{
+		Title: fmt.Sprintf("Submit path: intake throughput at P=%d (%d submissions/pass, best of %d)",
+			workers, total, reps),
+		Header: []string{"lane", "intake", "root", "submitters", "jobs/s", "ns/submit", "allocs/submit"},
+	}
+	var rows []SubmitPathRow
+	for _, lane := range []string{"shed", "queue"} {
+		for _, intake := range core.IntakeKinds() {
+			for _, rootName := range []string{"noop", "fib10"} {
+				if lane == "shed" && rootName == "fib10" {
+					// Shed roots never run; the root shape is irrelevant.
+					continue
+				}
+				for _, k := range submitters {
+					row := submitPathLeg(o, intake, lane, rootName, k, workers, total, reps)
+					rows = append(rows, row)
+					t.Rows = append(t.Rows, []string{
+						row.Lane, row.Intake, row.Root, fmt.Sprint(row.Submitters),
+						fmt.Sprintf("%.0f", row.JobsPerSec),
+						fmt.Sprintf("%.0f", row.NsPerSubmit),
+						fmt.Sprintf("%.2f", row.AllocsPerOp),
+					})
+				}
+			}
+		}
+	}
+	return rows, t
+}

@@ -255,7 +255,11 @@ func Capacity(cfg Config, n int) (float64, error) {
 	done := 0
 	for done < n {
 		j := <-jobs
-		j.Wait()
+		// Err, not Wait: the calibration loop needs completion, not a
+		// Stats aggregation per request; Release recycles the handle
+		// into the intake pool for the next submission.
+		j.Err()
+		j.Release()
 		done++
 		if fired < n {
 			s, r, tenant := cfg.request(mix, fired)
@@ -313,6 +317,7 @@ func Run(cfg Config) (Result, error) {
 		default:
 			res.Errors++
 		}
+		j.Release() // last read of this handle — recycle it
 	}
 	res.Elapsed = time.Since(start)
 	if err := rt.Close(context.Background()); err != nil {

@@ -118,6 +118,13 @@ func WithAdmission(p AdmissionPolicy) Option {
 	return func(c *Config) { c.Admission = p }
 }
 
+// WithIntake selects the serving-intake pipeline: IntakeSharded is the
+// lock-minimized CAS-admission path with sharded root queues and Job
+// pooling, IntakeMutex the single-mutex baseline. Default: IntakeSharded.
+func WithIntake(k IntakeKind) Option {
+	return func(c *Config) { c.Intake = k }
+}
+
 // WithTenantQuotaPages bounds the simulated stack pages one tenant's
 // admitted Jobs may reserve at once (each job reserves StackPages); use
 // SubmitTenant to attribute submissions. Default: 0, unlimited.

@@ -1,0 +1,177 @@
+// Serving-intake benchmarks and the CI allocation gate for the
+// lock-minimized Submit path (CAS admission, sharded root queues, pooled
+// Jobs, wake-one parking). Timing comparisons between the sharded
+// pipeline and the mutex baseline live in the submitpath experiment
+// (cmd/fibril-bench -experiment submitpath); here live the testing.B
+// counters and the hard allocs/op assertions CI enforces next to
+// TestForkPathGate.
+package fibril_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fibril"
+)
+
+// noopRoot is the package-level tiny request body: its func value is
+// static, so Submit's measured allocations are the intake path's own.
+func noopRoot(*fibril.W) {}
+
+// fib10Root is the small fork-join request body (~170 tasks), for the
+// lanes where the root actually schedules work.
+func fib10Root(w *fibril.W) {
+	var out int64
+	benchFib(w, 10, &out)
+}
+
+func benchFib(w *fibril.W, n int, out *int64) {
+	if n < 2 {
+		*out = int64(n)
+		return
+	}
+	var fr fibril.Frame
+	w.Init(&fr)
+	var a, b int64
+	w.Fork(&fr, func(w *fibril.W) { benchFib(w, n-1, &a) })
+	w.Call(func(w *fibril.W) { benchFib(w, n-2, &b) })
+	w.Join(&fr)
+	*out = a + b
+}
+
+// shedRuntime builds a runtime whose capacity is fully held by blocker
+// jobs, so every further Submit resolves deterministically on the
+// submitter's own goroutine (AdmitShed → ErrShed) — the pure submit-side
+// cost with no scheduling in the measurement. The returned release
+// function unblocks the blockers and closes the runtime.
+func shedRuntime(tb testing.TB, intake fibril.IntakeKind) (*fibril.Runtime, func()) {
+	tb.Helper()
+	const workers = 2
+	rt := fibril.NewWith(
+		fibril.WithWorkers(workers),
+		fibril.WithIntake(intake),
+		fibril.WithMaxInflight(workers),
+		fibril.WithAdmission(fibril.AdmitShed),
+	)
+	rt.Start()
+	gate := make(chan struct{})
+	blockers := make([]*fibril.Job, workers)
+	for i := range blockers {
+		blockers[i] = rt.Submit(func(*fibril.W) { <-gate })
+	}
+	// Shed one probe to confirm capacity is genuinely saturated before
+	// anything is measured.
+	if err := rt.Submit(noopRoot).Err(); !errors.Is(err, fibril.ErrShed) {
+		tb.Fatalf("probe submit got %v, want ErrShed", err)
+	}
+	return rt, func() {
+		close(gate)
+		for _, j := range blockers {
+			if err := j.Err(); err != nil {
+				tb.Errorf("blocker: %v", err)
+			}
+		}
+		if err := rt.Close(context.Background()); err != nil {
+			tb.Errorf("Close: %v", err)
+		}
+	}
+}
+
+// BenchmarkSubmitThroughput is the closed-loop serving cost per request —
+// Submit, wait, Release — across both intake pipelines and both root
+// shapes. The open-loop multi-submitter sweep is the submitpath
+// experiment; this is the steady per-op figure `go test -bench` tracks.
+func BenchmarkSubmitThroughput(b *testing.B) {
+	for _, intake := range fibril.IntakeKinds() {
+		for _, root := range []struct {
+			name string
+			fn   func(*fibril.W)
+		}{{"noop", noopRoot}, {"fib10", fib10Root}} {
+			b.Run(intake.String()+"/"+root.name, func(b *testing.B) {
+				rt := fibril.NewWith(fibril.WithWorkers(4), fibril.WithIntake(intake))
+				rt.Start()
+				defer rt.Close(context.Background())
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					j := rt.Submit(root.fn)
+					if err := j.Err(); err != nil {
+						b.Fatal(err)
+					}
+					j.Release()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSubmitAllocs isolates the submit-side allocation count on the
+// deterministic shed lane: every Submit resolves on the caller's
+// goroutine, so allocs/op is exactly what the intake path itself pays.
+func BenchmarkSubmitAllocs(b *testing.B) {
+	for _, intake := range fibril.IntakeKinds() {
+		b.Run(intake.String(), func(b *testing.B) {
+			rt, done := shedRuntime(b, intake)
+			defer done()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := rt.Submit(noopRoot)
+				if !errors.Is(j.Err(), fibril.ErrShed) {
+					b.Fatal("expected shed")
+				}
+				j.Release()
+			}
+		})
+	}
+}
+
+// TestSubmitAllocGate is the CI allocation gate for the serving intake,
+// hard assertions only (timing lives in the submitpath experiment):
+//
+//  1. on the deterministic shed lane the sharded pipeline submits with
+//     ZERO heap allocations per request — pooled Job, lock-free shed,
+//     no clock read, no eager done channel, no eager stats snapshot;
+//  2. the admitted closed-loop path stays within the ≤2 allocs/Submit
+//     budget (the lazily allocated completion channel and its box —
+//     paid only because the caller actually waits).
+func TestSubmitAllocGate(t *testing.T) {
+	t.Run("shed-zero-alloc", func(t *testing.T) {
+		rt, done := shedRuntime(t, fibril.IntakeSharded)
+		defer done()
+		// Warm the per-shard Job pools past the measurement size.
+		for i := 0; i < 512; i++ {
+			rt.Submit(noopRoot).Release()
+		}
+		allocs := testing.AllocsPerRun(20_000, func() {
+			rt.Submit(noopRoot).Release()
+		})
+		if allocs != 0 {
+			t.Errorf("shed-lane Submit allocates %.2f/op, want 0", allocs)
+		}
+	})
+
+	t.Run("admitted-budget", func(t *testing.T) {
+		rt := fibril.NewWith(fibril.WithWorkers(2))
+		rt.Start()
+		defer rt.Close(context.Background())
+		for i := 0; i < 512; i++ {
+			j := rt.Submit(noopRoot)
+			if err := j.Err(); err != nil {
+				t.Fatal(err)
+			}
+			j.Release()
+		}
+		allocs := testing.AllocsPerRun(5_000, func() {
+			j := rt.Submit(noopRoot)
+			if err := j.Err(); err != nil {
+				t.Fatal(err)
+			}
+			j.Release()
+		})
+		if allocs > 2 {
+			t.Errorf("admitted closed-loop Submit allocates %.2f/op, want <= 2", allocs)
+		}
+	})
+}
